@@ -1,0 +1,53 @@
+"""Figure 1 — TQT quantizer forward/backward transfer curves (b=3, t=1.0).
+
+Reproduces the signed and unsigned transfer curves and checks the analytic
+features the figure displays: the staircase forward function with its
+saturation levels, the exact clipping limits x_n = s(n-0.5), x_p = s(p+0.5),
+the binary input gradient, and the piecewise threshold gradient that is
+negative outside the clipping range and sawtooth-like inside it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_series, tqt_transfer_curves
+
+
+def test_figure1_transfer_curves(benchmark, report_writer):
+    signed = tqt_transfer_curves(threshold=1.0, bits=3, signed=True)
+    unsigned = tqt_transfer_curves(threshold=1.0, bits=3, signed=False)
+
+    report = "\n".join([
+        "Figure 1 — TQT transfer curves (b=3, t=1.0)",
+        f"signed clipping limits:   ({signed.clip_low:.3f}, {signed.clip_high:.3f})  "
+        "(paper: -1.125, 0.875)",
+        f"unsigned clipping limits: ({unsigned.clip_low:.3f}, {unsigned.clip_high:.3f})",
+        format_series(signed.x, signed.forward, "signed forward q(x)"),
+        format_series(signed.x, signed.grad_input, "signed local dq/dx"),
+        format_series(signed.x, signed.grad_threshold, "signed local dq/dlog2t"),
+        format_series(signed.x, signed.loss_grad_threshold, "signed dL2/dlog2t"),
+        format_series(unsigned.x, unsigned.forward, "unsigned forward q(x)"),
+    ])
+    report_writer("figure1_transfer_curves", report)
+
+    # Signed: 2^b levels, saturating at n*s and p*s.
+    assert len(np.unique(np.round(signed.forward, 9))) == 8
+    assert signed.forward.min() == -1.0 and signed.forward.max() == 0.75
+    assert (signed.clip_low, signed.clip_high) == (-1.125, 0.875)
+    # Unsigned: non-negative staircase.
+    assert unsigned.forward.min() == 0.0
+    assert len(np.unique(np.round(unsigned.forward, 9))) == 8
+    # Input gradient is exactly the clipping-range indicator.
+    assert set(np.unique(signed.grad_input)).issubset({0.0, 1.0})
+    # Threshold gradient saturates to s*ln2*n / s*ln2*p outside the range.
+    s = 0.25
+    assert np.isclose(signed.grad_threshold[0], s * np.log(2) * -4)
+    assert np.isclose(signed.grad_threshold[-1], s * np.log(2) * 3)
+    # L2-loss threshold gradient is positive inside (pull in) and negative outside (push out).
+    inside = (signed.x > -1.0) & (signed.x < 0.75)
+    outside = (signed.x < -1.2) | (signed.x > 1.0)
+    assert signed.loss_grad_threshold[inside].max() > 0
+    assert signed.loss_grad_threshold[outside].max() < 0
+
+    benchmark(lambda: tqt_transfer_curves(threshold=1.0, bits=3, signed=True, num_points=101))

@@ -1,0 +1,41 @@
+"""Figure 3 — TensorFlow FakeQuant transfer curves with clipped gradients.
+
+The forward staircase matches TQT's (Fig. 1), but the backward treats
+rounding as identity: threshold gradients are zero inside (n, p), so with
+the L2 loss the limits only ever get pushed outward — range is always
+favoured over precision (Section 3.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fakequant_transfer_curves, format_series, tqt_transfer_curves
+
+
+def test_figure3_fakequant_transfer_curves(benchmark, report_writer):
+    curves = fakequant_transfer_curves(clip_min=-1.125, clip_max=0.875, bits=3)
+    tqt = tqt_transfer_curves(threshold=1.0, bits=3, signed=True)
+
+    report = "\n".join([
+        "Figure 3 — FakeQuant transfer curves (b=3, n=-1.125, p=0.875)",
+        format_series(curves.x, curves.forward, "forward q(x)"),
+        format_series(curves.x, curves.grad_input, "local dq/dx"),
+        format_series(curves.x, curves.grad_threshold, "local dq/dmax (clipped)"),
+        format_series(curves.x, curves.loss_grad_threshold, "dL2/dmax"),
+    ])
+    report_writer("figure3_fakequant_curves", report)
+
+    inside = (curves.x > -1.0) & (curves.x < 0.8)
+    above = curves.x > 1.0
+    # Forward is an 8-level staircase like TQT's.
+    assert len(np.unique(np.round(curves.forward, 9))) == 8
+    # Clipped threshold gradient: exactly zero inside, one above the max threshold.
+    np.testing.assert_allclose(curves.grad_threshold[inside], 0.0, atol=1e-12)
+    np.testing.assert_allclose(curves.grad_threshold[above], 1.0)
+    # Overall L2 gradient never pulls the threshold inward (<= 0 everywhere) —
+    # the contrast with TQT's sign-changing gradient in Figure 1.
+    assert curves.loss_grad_threshold.max() <= 1e-12
+    assert tqt.loss_grad_threshold.max() > 0
+
+    benchmark(lambda: fakequant_transfer_curves(num_points=101))

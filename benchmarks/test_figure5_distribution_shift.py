@@ -1,0 +1,56 @@
+"""Figures 5 and 10 — MobileNet weight/activation distributions and trained thresholds.
+
+After TQT retraining the paper plots, for every quantized layer whose
+threshold moved by a non-zero integer amount in the log domain, the tensor
+distribution together with the initial (calibrated) and trained thresholds.
+Depthwise-convolution weight thresholds move inward by up to three bins
+(precision over range); some activation thresholds move outward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    collect_layer_distributions,
+    collect_threshold_deviations,
+    deviation_histogram,
+    format_table,
+)
+
+
+def test_figure5_distribution_shift(benchmark, mobilenet_v1_tqt_int8, report_writer):
+    result = mobilenet_v1_tqt_int8["result"]
+    graph = mobilenet_v1_tqt_int8["graph"]
+
+    deviations = collect_threshold_deviations(result, graph)
+    panels = collect_layer_distributions(graph, result, only_changed=True)
+
+    rows = []
+    for panel in panels:
+        rows.append([
+            panel.name.replace("node_", ""),
+            panel.kind,
+            panel.bits,
+            f"{panel.initial_threshold:.4f}",
+            f"{panel.trained_threshold:.4f}",
+            int(np.ceil(np.log2(panel.trained_threshold)) - np.ceil(np.log2(panel.initial_threshold))),
+            f"{panel.clipped_fraction * 100:.2f}%",
+        ])
+    report = format_table(
+        ["layer", "kind", "b", "t initial", "t trained", "d", "clipped"],
+        rows,
+        title="Figure 5/10 — layers whose thresholds moved by a non-zero integer amount",
+    )
+    weight_moves = deviation_histogram(deviations, kinds=("weight",))
+    report += f"\nweight-threshold deviation histogram: {weight_moves}"
+    report_writer("figure5_distribution_shift", report)
+
+    # At least one quantizer moved by a whole bin, and thresholds stay positive/finite.
+    moved = [d for d in deviations if d.deviation != 0]
+    assert moved, "TQT retraining should move at least one threshold across an integer bin"
+    assert all(np.isfinite(d.trained_log2_t) for d in deviations)
+    # Trained thresholds never collapse to (near) zero — the quantizer stays usable.
+    assert all(d.trained_threshold > 1e-6 for d in deviations)
+
+    benchmark(lambda: collect_threshold_deviations(result, graph))

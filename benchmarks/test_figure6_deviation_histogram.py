@@ -1,0 +1,51 @@
+"""Figure 6 — histograms of threshold deviations under INT8 vs INT4 retraining.
+
+Paper: thresholds deviate from their calibrated initialization during TQT
+training; larger *positive* deviations (more range) appear in the 8-bit case
+than in the 4-bit case, because with fewer bits the method cuts back on
+range to preserve precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    collect_threshold_deviations,
+    deviation_histogram,
+    format_histogram,
+)
+
+
+def _mean_deviation(histogram: dict[int, int]) -> float:
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    return sum(dev * count for dev, count in histogram.items()) / total
+
+
+def test_figure6_deviation_histogram(benchmark, mobilenet_v1_tqt_int8, mobilenet_v1_tqt_int4,
+                                     report_writer):
+    int8 = mobilenet_v1_tqt_int8
+    int4 = mobilenet_v1_tqt_int4
+
+    hist8 = deviation_histogram(collect_threshold_deviations(int8["result"], int8["graph"]))
+    hist4 = deviation_histogram(collect_threshold_deviations(int4["result"], int4["graph"]))
+
+    report = "\n\n".join([
+        format_histogram(hist8, title="Figure 6a — INT8 (8/8) threshold deviations"),
+        format_histogram(hist4, title="Figure 6b — INT4 (4/8) threshold deviations"),
+        f"mean deviation: INT8 {_mean_deviation(hist8):+.2f} bins, "
+        f"INT4 {_mean_deviation(hist4):+.2f} bins",
+    ])
+    report_writer("figure6_deviation_histogram", report)
+
+    # Both runs actually moved thresholds.
+    assert sum(hist8.values()) > 0 and sum(hist4.values()) > 0
+    # The 8-bit run is at least as range-hungry as the 4-bit run (its largest
+    # positive deviation and its mean deviation are >= the 4-bit ones).
+    assert max(hist8) >= max(hist4)
+    assert _mean_deviation(hist8) >= _mean_deviation(hist4) - 0.25
+
+    benchmark(lambda: deviation_histogram(
+        collect_threshold_deviations(int8["result"], int8["graph"])))

@@ -1,0 +1,48 @@
+"""Figure 7 — L2-loss gradients w.r.t. raw / log / normed-log thresholds.
+
+For Gaussian inputs whose standard deviation spans four orders of magnitude,
+the gradient magnitude of the raw- and log-threshold parameterizations
+depends strongly on both the threshold position and the input scale; the
+normed-log gradients (Eq. 17/18) are the "desired" scale-invariant curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import compute_gradient_landscape, format_series, scale_invariance_metrics
+
+SIGMAS = [1e-2, 1e-1, 1e0, 1e1, 1e2]
+
+
+def test_figure7_gradient_landscape(benchmark, report_writer):
+    landscapes = [compute_gradient_landscape(sigma, bits=8, num_points=81, seed=0)
+                  for sigma in SIGMAS]
+    spreads = scale_invariance_metrics(landscapes)
+
+    lines = ["Figure 7 — threshold-gradient landscapes (b=8)"]
+    for landscape in landscapes:
+        lines.append(format_series(landscape.log2_t, landscape.log_grad,
+                                   f"log grad, sigma={landscape.sigma:g}", max_points=7))
+    lines.append("")
+    lines.append("gradient-magnitude spread across input scales (1.0 = scale invariant):")
+    for name, spread in spreads.items():
+        lines.append(f"  {name:<18s} {spread:12.1f}x")
+    report_writer("figure7_gradient_landscape", "\n".join(lines))
+
+    # Raw and log gradients are strongly scale dependent (orders of magnitude);
+    # normed gradients stay within a small constant factor.
+    assert spreads["raw_grad"] > 1e2
+    assert spreads["log_grad"] > 1e2
+    assert spreads["normed_log_grad"] < 50
+    assert spreads["normed_log_grad"] < spreads["log_grad"] / 100
+    # Normed gradients are bounded by 1 in magnitude (Eq. 18 tanh clipping).
+    assert all(np.abs(l.normed_log_grad).max() <= 1.0 + 1e-9 for l in landscapes)
+    # Every landscape has negative gradients left of its optimum and positive to the right.
+    for landscape in landscapes:
+        optimum = landscape.log2_t[int(np.argmin(landscape.loss))]
+        left = landscape.log_grad[landscape.log2_t < optimum - 1.0]
+        right = landscape.log_grad[landscape.log2_t > optimum + 1.0]
+        assert left.mean() < 0 < right.mean()
+
+    benchmark(lambda: compute_gradient_landscape(1.0, bits=8, num_points=41, seed=0))

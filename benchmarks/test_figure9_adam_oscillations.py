@@ -1,0 +1,66 @@
+"""Figure 9 / Appendix C — post-convergence Adam oscillations of log thresholds.
+
+Paper: with power-of-2 scaling the threshold oscillates around the critical
+integer log2 t*; the oscillation period is T ≈ r_g (the ratio of the
+gradient magnitudes on either side of the boundary) and the worst-case
+excursion is bounded by alpha * sqrt(r_g) (with a 10x over-design margin
+recommended).  For sigma = 1e-2 and b = 8 the paper measures T ≈ 280 with
+r_g ≈ 272.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ToyL2Problem,
+    estimate_gradient_ratio,
+    format_table,
+    max_excursion_bound,
+    measure_oscillations,
+    simulate_bang_bang_adam,
+    train_threshold,
+)
+
+SIGMAS = [1e-2, 1e-1, 1e0]
+LEARNING_RATE = 0.01
+
+
+def test_figure9_adam_oscillations(benchmark, report_writer):
+    rows = []
+    checks = []
+    for sigma in SIGMAS:
+        problem = ToyL2Problem(sigma=sigma, bits=8, num_samples=500, seed=0)
+        ratio = estimate_gradient_ratio(problem)
+        trajectory = train_threshold(problem, init_log2_t=1.0, steps=2500, lr=LEARNING_RATE,
+                                     method="adam", batch_size=500, seed=2)
+        stats = measure_oscillations(trajectory, tail=1000)
+        bound = max_excursion_bound(ratio, LEARNING_RATE)
+        rows.append([f"{sigma:g}", f"{ratio:.0f}", f"{stats['period']:.0f}",
+                     f"{stats['amplitude']:.3f}", f"{bound:.3f}", f"{10 * bound:.3f}"])
+        checks.append((ratio, stats, bound))
+
+    # Idealized bang-bang simulation for the Appendix C closed forms.
+    sim = simulate_bang_bang_adam(gradient_ratio=244.0, learning_rate=LEARNING_RATE,
+                                  steps=40000)
+    rows.append(["(bang-bang, r_g=244)", "244", f"{sim.period:.0f}", f"{sim.excursion:.3f}",
+                 f"{sim.excursion_bound:.3f}", f"{10 * sim.excursion_bound:.3f}"])
+
+    report_writer("figure9_adam_oscillations",
+                  format_table(["sigma", "r_g", "period T", "amplitude",
+                                "alpha*sqrt(r_g)", "10x bound"],
+                               rows,
+                               title="Figure 9 — Adam oscillations of log2 t after convergence"))
+
+    # Bang-bang model: T ~= r_g and the excursion respects the closed-form bound.
+    assert sim.period == pytest.approx(244.0, rel=0.35)
+    assert sim.excursion <= sim.excursion_bound * 1.05
+    # Toy-L2 trajectories: the oscillation amplitude never spans more than one
+    # integer bin (the paper's design goal; the 10x over-design margin absorbs
+    # the stochastic-gradient effects it describes at the end of Appendix C).
+    for ratio, stats, bound in checks:
+        assert stats["amplitude"] < 1.0
+
+    problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=500, seed=0)
+    benchmark(lambda: estimate_gradient_ratio(problem))

@@ -1,0 +1,101 @@
+"""Table 1 — MobileNet 8-bit quantization: Google-QAT baselines vs TQT.
+
+Paper rows (top-1 %, ImageNet):
+
+    MobileNet v1: FP32 70.9 | QAT per-channel sym 70.7 | QAT per-tensor asym 70.0
+                  | TQT FP32 71.1 | TQT per-tensor sym pow-2 71.1
+    MobileNet v2: FP32 71.9 | QAT 71.1 / 70.9 | TQT 71.7 / 71.8
+
+The claim reproduced here: TQT, despite using the *strictest* scheme
+(per-tensor, symmetric, power-of-2), matches FP32 accuracy and is at least
+as good as the clipped-gradient FakeQuant (QAT) baselines trained the same
+way on the same schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.autograd import Tensor
+from repro.quant import QuantScheme
+
+TABLE1_PAPER = {
+    "mobilenet_v1": {"fp32": 70.9, "qat_per_channel": 70.7, "qat_per_tensor_asym": 70.0,
+                     "tqt": 71.1},
+    "mobilenet_v2": {"fp32": 71.9, "qat_per_channel": 71.1, "qat_per_tensor_asym": 70.9,
+                     "tqt": 71.8},
+}
+
+
+def _qat_trial(runner, per_channel: bool):
+    """Run a Google-QAT style baseline: FakeQuant (clipped threshold gradients),
+    real-valued scale factors, per-channel symmetric or per-tensor asymmetric."""
+    from repro.graph import calibrate_activations, quantize_graph
+    from repro.training import Trainer
+
+    graph = runner._optimized_copy()
+    scheme = QuantScheme(
+        method="fake_quant",
+        power_of_2=False,
+        symmetric=per_channel,            # per-channel row is symmetric, per-tensor row is asymmetric
+        per_channel_weights=per_channel,
+        train_thresholds=True,
+        weight_init="max",
+        activation_init="kl-j",
+    )
+    quantize_graph(graph, scheme)
+    calibrate_activations(graph, runner.calibration_batches)
+    trainer = Trainer(graph, runner.train_loader, runner.val_loader,
+                      hparams=runner.config.make_hparams())
+    result = trainer.train(runner.config.retrain_epochs)
+    return result.best_top1
+
+
+def _collect_rows(runner, name):
+    fp32 = runner.evaluate_fp32()
+    qat_pc = _qat_trial(runner, per_channel=True)
+    qat_pt = _qat_trial(runner, per_channel=False)
+    tqt_trial, _ = runner.run_retrain("wt,th")
+    return {
+        "name": name,
+        "fp32": fp32.top1,
+        "qat_per_channel": qat_pc,
+        "qat_per_tensor_asym": qat_pt,
+        "tqt": tqt_trial.top1,
+    }
+
+
+def test_table1_mobilenet_qat_vs_tqt(benchmark, mobilenet_v1_runner, mobilenet_v2_runner,
+                                     report_writer):
+    results = [
+        _collect_rows(mobilenet_v1_runner, "MobileNet v1 (nano)"),
+        _collect_rows(mobilenet_v2_runner, "MobileNet v2 (nano)"),
+    ]
+
+    rows = []
+    for measured in results:
+        paper = TABLE1_PAPER["mobilenet_v1" if "v1" in measured["name"] else "mobilenet_v2"]
+        for key, label in [("fp32", "FP32"),
+                           ("qat_per_channel", "QAT INT8 per-channel, symmetric, real"),
+                           ("qat_per_tensor_asym", "QAT INT8 per-tensor, asymmetric, real"),
+                           ("tqt", "TQT INT8 per-tensor, symmetric, pow-2")]:
+            rows.append([measured["name"], label, f"{measured[key] * 100:.1f}",
+                         f"{paper[key]:.1f}"])
+    report_writer("table1_mobilenet_qat_vs_tqt",
+                  format_table(["Network", "Scheme", "top-1 measured (%)", "top-1 paper (%)"],
+                               rows, title="Table 1 — MobileNet QAT vs TQT (synthetic scale)"))
+
+    # Qualitative claims: TQT matches FP32 (within noise) and is not worse than
+    # either clipped-gradient baseline on these depthwise networks.
+    for measured in results:
+        assert measured["tqt"] >= measured["fp32"] - 0.05
+        assert measured["tqt"] >= measured["qat_per_tensor_asym"] - 0.03
+        assert measured["tqt"] >= measured["qat_per_channel"] - 0.05
+
+    # Timed kernel: one TQT-quantized MobileNet forward pass (the per-step cost
+    # the quantized training graph adds).
+    graph = mobilenet_v1_runner.last_quantized_model.graph
+    batch = np.random.default_rng(0).standard_normal(
+        (4, 3, mobilenet_v1_runner.config.image_size, mobilenet_v1_runner.config.image_size))
+    benchmark(lambda: graph(Tensor(batch)))

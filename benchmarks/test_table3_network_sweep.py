@@ -1,0 +1,103 @@
+"""Table 3 — quantization accuracy across the network suite.
+
+Paper: for every network it reports FP32, static INT8, retrain-wt FP32,
+retrain-wt INT8, retrain-wt,th INT8 and retrain-wt,th INT4 accuracy, with
+the headline observations:
+
+* static quantization loses the most accuracy, catastrophically so for
+  depthwise networks (MobileNets: 0.6% / 0.3% top-1);
+* wt-only retraining suffices for easy networks (VGG/ResNet/Inception) but
+  leaves several points on the table for MobileNets/DarkNet;
+* TQT (wt,th) recovers (near-)FP32 accuracy for every network at INT8;
+* INT4 (4/8) needs threshold training and lands slightly below FP32.
+
+This bench reproduces the sweep on three representative networks — an easy
+one (VGG), a depthwise one (MobileNet v1) and a leaky-ReLU one (DarkNet) —
+at the synthetic-data scale, prints the rows in the paper's format and
+asserts the ordering claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.autograd import Tensor
+from repro.quant import INT4_PRECISION
+
+# Paper top-1 numbers for the three networks reproduced here (for the report).
+TABLE3_PAPER_TOP1 = {
+    "vgg_nano": {"fp32": 70.9, "static": 70.4, "wt_fp32": 71.9, "wt_int8": 71.8,
+                 "wtth_int8": 71.7, "wtth_int4": 71.5, "paper_name": "VGG 16"},
+    "mobilenet_v1_nano": {"fp32": 71.0, "static": 0.6, "wt_fp32": 71.1, "wt_int8": 67.0,
+                          "wtth_int8": 71.1, "wtth_int4": None,
+                          "paper_name": "MobileNet v1 1.0 224"},
+    "darknet_nano": {"fp32": 73.0, "static": 68.7, "wt_fp32": 74.4, "wt_int8": 72.9,
+                     "wtth_int8": 74.5, "wtth_int4": 73.2, "paper_name": "DarkNet 19"},
+}
+
+
+def _sweep(runner, include_int4: bool):
+    rows = {}
+    rows["fp32"] = runner.evaluate_fp32().top1
+    rows["static"] = runner.run_static().top1
+    rows["wt_fp32"] = runner.run_retrain_fp32().top1
+    rows["wt_int8"] = runner.run_retrain("wt")[0].top1
+    rows["wtth_int8"] = runner.run_retrain("wt,th")[0].top1
+    if include_int4:
+        rows["wtth_int4"] = runner.run_retrain("wt,th", INT4_PRECISION)[0].top1
+    return rows
+
+
+def test_table3_network_sweep(benchmark, vgg_runner, mobilenet_v1_runner, darknet_runner,
+                              report_writer):
+    runners = {"vgg_nano": vgg_runner, "mobilenet_v1_nano": mobilenet_v1_runner,
+               "darknet_nano": darknet_runner}
+    measured = {name: _sweep(runner, include_int4=(name != "mobilenet_v1_nano"))
+                for name, runner in runners.items()}
+
+    table_rows = []
+    labels = [("fp32", "FP32", "32/32"), ("static", "Static INT8", "8/8"),
+              ("wt_fp32", "Retrain wt FP32", "32/32"), ("wt_int8", "Retrain wt INT8", "8/8"),
+              ("wtth_int8", "Retrain wt,th INT8", "8/8"),
+              ("wtth_int4", "Retrain wt,th INT4", "4/8")]
+    for name, rows in measured.items():
+        paper = TABLE3_PAPER_TOP1[name]
+        for key, label, bits in labels:
+            if key not in rows:
+                continue
+            paper_value = paper.get(key)
+            table_rows.append([paper["paper_name"], label, bits, f"{rows[key] * 100:.1f}",
+                               "-" if paper_value is None else f"{paper_value:.1f}"])
+    report_writer("table3_network_sweep",
+                  format_table(["Network", "Mode", "W/A", "top-1 measured (%)",
+                                "top-1 paper (%)"],
+                               table_rows,
+                               title="Table 3 — quantization sweep (synthetic scale)"))
+
+    vgg, mobilenet, darknet = (measured["vgg_nano"], measured["mobilenet_v1_nano"],
+                               measured["darknet_nano"])
+
+    # Easy network: static INT8 and wt-only retraining already track FP32.
+    assert vgg["static"] >= vgg["fp32"] - 0.05
+    assert vgg["wt_int8"] >= vgg["fp32"] - 0.05
+    # INT4 on the easy network stays close to FP32 with TQT.
+    assert vgg["wtth_int4"] >= vgg["fp32"] - 0.10
+
+    # Depthwise network: static collapses, wt-only recovers partially, TQT fully.
+    assert mobilenet["static"] < mobilenet["fp32"] - 0.10
+    assert mobilenet["wt_int8"] > mobilenet["static"]
+    assert mobilenet["wtth_int8"] > mobilenet["wt_int8"]
+    assert mobilenet["wtth_int8"] >= mobilenet["fp32"] - 0.05
+
+    # Difficult networks benefit from threshold training; easy ones show no added benefit.
+    assert (mobilenet["wtth_int8"] - mobilenet["wt_int8"]) >= \
+           (vgg["wtth_int8"] - vgg["wt_int8"]) - 0.02
+    # DarkNet: TQT at least matches wt-only.
+    assert darknet["wtth_int8"] >= darknet["wt_int8"] - 0.03
+
+    # Timed kernel: static-quantized VGG forward pass.
+    graph = vgg_runner.last_quantized_model.graph
+    batch = np.random.default_rng(0).standard_normal(
+        (4, 3, vgg_runner.config.image_size, vgg_runner.config.image_size))
+    benchmark(lambda: graph(Tensor(batch)))

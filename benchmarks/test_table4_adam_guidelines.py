@@ -1,0 +1,60 @@
+"""Table 4 — Adam hyperparameter guidelines for log-threshold training.
+
+Paper (Appendix C):  alpha <= 0.1 / sqrt(2^(b-1) - 1),  beta1 >= 1/e,
+beta2 >= 1 - 0.1 / (2^(b-1) - 1),  steps ≈ 1/alpha + 1/(1 - beta2),
+giving roughly (0.035, 1/e, 0.99, 100) for 4 bits and (0.009, 1/e, 0.999,
+1000) for 8 bits.
+
+The bench reproduces the table from the closed forms and then validates the
+guidelines *behaviourally* on the toy-L2 problem: a learning rate at the
+bound keeps post-convergence oscillations inside one integer bin, a learning
+rate 10x above it does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ToyL2Problem, format_table, train_threshold
+from repro.training import adam_guidelines
+
+TABLE4_PAPER = {
+    4: {"alpha": 0.035, "beta2": 0.99, "steps": 100},
+    8: {"alpha": 0.009, "beta2": 0.999, "steps": 1000},
+}
+
+
+def test_table4_adam_guidelines(benchmark, report_writer):
+    rows = []
+    for bits in (4, 8):
+        guide = adam_guidelines(bits)
+        paper = TABLE4_PAPER[bits]
+        rows.append([bits, f"{guide.max_learning_rate:.3f}", f"{paper['alpha']:.3f}",
+                     f"{guide.min_beta1:.3f}", "1/e",
+                     f"{guide.min_beta2:.4f}", f"{paper['beta2']:.4f}",
+                     f"{guide.expected_steps:.0f}", f"{paper['steps']}"])
+        # closed-form agreement with the paper's (conservatively rounded) entries
+        assert guide.max_learning_rate == np.float64(0.1) / np.sqrt(2 ** (bits - 1) - 1)
+        assert abs(guide.max_learning_rate - paper["alpha"]) < 4e-3
+        assert abs(guide.min_beta2 - paper["beta2"]) < 5e-3
+
+    report_writer("table4_adam_guidelines",
+                  format_table(["b", "alpha max", "paper", "beta1 min", "paper",
+                                "beta2 min", "paper", "steps", "paper"],
+                               rows, title="Table 4 — Adam guidelines for log-threshold training"))
+
+    # Behavioural check (8-bit): guideline LR keeps oscillations within one bin,
+    # a 10x larger LR does not.
+    problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=500, seed=0)
+    guide = adam_guidelines(8)
+    within = train_threshold(problem, init_log2_t=1.0, steps=1500,
+                             lr=guide.max_learning_rate, method="adam",
+                             batch_size=500, seed=1)
+    beyond = train_threshold(problem, init_log2_t=1.0, steps=1500,
+                             lr=10 * guide.max_learning_rate, method="adam",
+                             batch_size=500, seed=1)
+    assert within.oscillation_amplitude(tail=400) < 1.0
+    assert beyond.oscillation_amplitude(tail=400) > within.oscillation_amplitude(tail=400)
+
+    # Timed kernel: one toy-L2 threshold gradient evaluation.
+    benchmark(lambda: problem.loss_and_log_grad(0.0))

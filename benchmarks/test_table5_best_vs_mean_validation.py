@@ -1,0 +1,51 @@
+"""Table 5 / Appendix D — best-checkpoint vs mean-of-final-epoch validation.
+
+Paper: keeping the best top-1 checkpoint (validated every 1000 steps)
+introduces only a small positive bias relative to averaging five fixed
+validations in the final epoch — 0.1% for MobileNet v1 and 0.2% for VGG 16.
+
+The bench retrains the nano MobileNet with TQT while validating every epoch,
+compares best vs mean-of-last-validations top-1 and asserts the bias is
+small and non-negative.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.training import PaperHyperparameters, Trainer
+
+
+def test_table5_best_vs_mean_validation(benchmark, mobilenet_v1_runner, report_writer):
+    runner = mobilenet_v1_runner
+    model = None
+    from repro.graph import prepare_retrain
+
+    graph = runner._optimized_copy()
+    model = prepare_retrain(graph, runner.calibration_batches, mode="wt,th", copy=False)
+    hparams = runner.config.make_hparams()
+    # validate twice per epoch so the "mean of the final validations" has support
+    hparams.validate_every_steps = max(1, runner.train_loader.steps_per_epoch // 2)
+    trainer = Trainer(model.graph, runner.train_loader, runner.val_loader, hparams=hparams)
+    result = trainer.train(runner.config.retrain_epochs)
+
+    keeper = result.checkpoints
+    best_top1, best_top5 = keeper.best_top1, keeper.best_top5
+    mean_top1, mean_top5 = keeper.final_epoch_mean(last_fraction=0.4)
+    bias = best_top1 - mean_top1
+
+    rows = [
+        ["Mean (final validations)", f"{mean_top1 * 100:.1f}", f"{mean_top5 * 100:.1f}", "-"],
+        ["Best (cherry-picked)", f"{best_top1 * 100:.1f}", f"{best_top5 * 100:.1f}",
+         f"{keeper.best_epoch:.1f}"],
+        ["Bias (best - mean)", f"{bias * 100:.1f}", "-", "-"],
+    ]
+    report_writer("table5_best_vs_mean_validation",
+                  format_table(["Validation", "top-1 (%)", "top-5 (%)", "Epochs"], rows,
+                               title="Table 5 — best vs mean validation (MobileNet v1 nano, TQT INT8)"))
+
+    assert bias >= -1e-9                     # best is by definition at least the mean
+    assert bias <= 0.10                      # and the cherry-picking bias stays small
+    assert len(keeper.history) >= 4
+
+    # Timed kernel: one validation pass over the synthetic validation split.
+    benchmark(lambda: trainer.evaluator.evaluate(model.graph))

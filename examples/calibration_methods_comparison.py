@@ -1,0 +1,71 @@
+"""Calibration-method comparison (Table 2 context).
+
+Shows how the threshold initialization methods of Table 2 — MAX, 3SD,
+percentile and KL-J — behave on (a) synthetic weight/activation
+distributions and (b) the actual tensors of a small network, and how much of
+each distribution they clip at 8 and 4 bits.
+
+Run with:  python examples/calibration_methods_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.graph import OpKind
+from repro.models import build_model
+from repro.quant import calibrate, kl_j_calibration
+
+
+def clipped_fraction(values: np.ndarray, threshold: float) -> float:
+    return float(np.mean(np.abs(values) > threshold))
+
+
+def describe(name: str, values: np.ndarray) -> list[list[str]]:
+    rows = []
+    for method_name, threshold in [
+        ("MAX", calibrate(values, "max")),
+        ("3SD", calibrate(values, "3sd")),
+        ("99.9 percentile", calibrate(values, "percentile", percentile=99.9)),
+        ("KL-J (8-bit)", kl_j_calibration(values, bits=8)),
+        ("KL-J (4-bit)", kl_j_calibration(values, bits=4)),
+    ]:
+        rows.append([name, method_name, f"{threshold:.4f}",
+                     f"{clipped_fraction(values, threshold) * 100:.2f}%"])
+    return rows
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    rows: list[list[str]] = []
+    # Synthetic distributions: well-behaved Gaussian vs long-tailed mixture.
+    rows += describe("gaussian weights", rng.normal(0, 0.05, 50_000))
+    rows += describe("long-tailed activations",
+                     np.abs(np.concatenate([rng.normal(0, 1.0, 50_000),
+                                            rng.normal(0, 12.0, 300)])))
+
+    # Real tensors from the MobileNet-style model: dense vs depthwise weights.
+    graph = build_model("mobilenet_v1_nano", num_classes=6, seed=0,
+                        channel_range_spread=16.0)
+    dense = next(node for node in graph.nodes_of_kind(OpKind.CONV)
+                 if node.module.kernel_size == (3, 3))
+    depthwise = graph.nodes_of_kind(OpKind.DEPTHWISE_CONV)[0]
+    rows += describe(f"{dense.name} (dense conv weights)", dense.module.weight.data.ravel())
+    rows += describe(f"{depthwise.name} (depthwise weights)",
+                     depthwise.module.weight.data.ravel())
+
+    print(format_table(
+        ["tensor", "method", "threshold", "clipped"],
+        rows,
+        title="Table 2 context: threshold initialization methods and how much they clip",
+    ))
+    print()
+    print("MAX never clips but wastes integer range on outliers; 3SD / percentile / KL-J")
+    print("trade a small clipped fraction for finer resolution of the bulk — the same")
+    print("range-precision trade-off that TQT later optimizes with gradients.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Trained Quantization Thresholds for Accurate and
+Efficient Fixed-Point Inference of Deep Neural Networks" (Jain et al., MLSys 2020).
+
+Sub-packages
+------------
+``repro.autograd``  NumPy reverse-mode autograd substrate (replaces TensorFlow).
+``repro.nn``        Neural-network layers and losses.
+``repro.optim``     Optimizers (SGD, NormedSGD, Adam, RMSProp) and LR schedules.
+``repro.quant``     TQT quantizer, baselines (FakeQuant, PACT, LSQ), calibration,
+                    fixed-point kernels, threshold freezing.
+``repro.graph``     Graffitist-style graph IR, optimization transforms and
+                    static/retrain quantization modes.
+``repro.models``    Scaled-down model zoo (VGG, ResNet, Inception, MobileNet, DarkNet).
+``repro.data``      Synthetic ImageNet substitute, preprocessing, loaders.
+``repro.training``  Trainer, evaluator and the Table 1/3 experiment driver.
+``repro.analysis``  Toy-L2 quantizer studies, transfer curves, convergence analysis,
+                    threshold-deviation statistics and report formatting.
+"""
+
+from . import autograd, nn, optim, quant, graph, models, data, training, analysis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "quant",
+    "graph",
+    "models",
+    "data",
+    "training",
+    "analysis",
+    "__version__",
+]

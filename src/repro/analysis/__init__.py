@@ -1,0 +1,66 @@
+"""Analyses backing the paper's figures and appendices."""
+
+from .toy_l2 import (
+    ToyL2Problem,
+    ThresholdTrajectory,
+    train_threshold,
+    threshold_gradient_field,
+)
+from .transfer_curves import (
+    TransferCurves,
+    tqt_transfer_curves,
+    fakequant_transfer_curves,
+    clipping_limits,
+)
+from .gradient_landscape import (
+    GradientLandscape,
+    compute_gradient_landscape,
+    scale_invariance_metrics,
+)
+from .convergence import (
+    find_critical_integer_threshold,
+    estimate_gradient_ratio,
+    oscillation_period_estimate,
+    max_excursion_bound,
+    simulate_bang_bang_adam,
+    measure_oscillations,
+    BangBangSimulation,
+)
+from .deviations import (
+    ThresholdDeviation,
+    collect_threshold_deviations,
+    deviation_histogram,
+    LayerDistribution,
+    collect_layer_distributions,
+)
+from .reporting import format_table, format_histogram, format_series, format_percent
+
+__all__ = [
+    "ToyL2Problem",
+    "ThresholdTrajectory",
+    "train_threshold",
+    "threshold_gradient_field",
+    "TransferCurves",
+    "tqt_transfer_curves",
+    "fakequant_transfer_curves",
+    "clipping_limits",
+    "GradientLandscape",
+    "compute_gradient_landscape",
+    "scale_invariance_metrics",
+    "find_critical_integer_threshold",
+    "estimate_gradient_ratio",
+    "oscillation_period_estimate",
+    "max_excursion_bound",
+    "simulate_bang_bang_adam",
+    "measure_oscillations",
+    "BangBangSimulation",
+    "ThresholdDeviation",
+    "collect_threshold_deviations",
+    "deviation_histogram",
+    "LayerDistribution",
+    "collect_layer_distributions",
+    "format_table",
+    "format_histogram",
+    "format_series",
+    "format_percent",
+]

@@ -1,0 +1,147 @@
+"""Adam convergence analysis for log-threshold training (Appendix C, Fig. 9, Table 4).
+
+The paper models the post-convergence behaviour of a power-of-2-scaled
+threshold as a bang-bang oscillation around the critical integer ``log2 t*``:
+a large gradient ``g_l`` is seen for one step on the low side and a small
+gradient ``g_h`` for ``T - 1`` steps on the high side.  With the gradient
+ratio ``r_g = -g_l / g_h`` the analysis derives
+
+* oscillation period ``T ≈ r_g`` (Eq. 22),
+* worst-case excursion ``Δθ_max < α √r_g`` (Eq. 29),
+* the Table 4 hyperparameter guidelines.
+
+This module provides both the closed-form quantities and a direct simulation
+of Adam on the idealized two-level gradient signal so tests can verify the
+bounds, plus a measurement helper that extracts ``T`` and the excursion from
+an actual toy-L2 training trajectory (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .toy_l2 import ThresholdTrajectory, ToyL2Problem
+
+__all__ = [
+    "find_critical_integer_threshold",
+    "estimate_gradient_ratio",
+    "oscillation_period_estimate",
+    "max_excursion_bound",
+    "simulate_bang_bang_adam",
+    "measure_oscillations",
+    "BangBangSimulation",
+]
+
+
+def find_critical_integer_threshold(problem: ToyL2Problem, search_low: int = -12,
+                                    search_high: int = 12) -> float:
+    """Locate the integer ``log2 t*`` where the threshold gradient flips sign.
+
+    With power-of-2 scaling the gradient is constant within each integer bin
+    (the scale only depends on ``ceil(log2 t)``), so the bang-bang dynamics of
+    Appendix C happen around the unique integer where the per-bin gradient
+    turns from negative (threshold too small) to positive (threshold too
+    large).
+    """
+    previous_grad = None
+    for k in range(search_low, search_high + 1):
+        _, grad = problem.loss_and_log_grad(k - 0.5)   # mid-bin sample
+        if previous_grad is not None and previous_grad < 0 <= grad:
+            return float(k - 1)
+        previous_grad = grad
+    raise ValueError("no sign change found in the searched range")
+
+
+def estimate_gradient_ratio(problem: ToyL2Problem, log2_t_star: float | None = None,
+                            delta: float = 0.5) -> float:
+    """Empirical ``r_g = -g_l / g_h`` around the critical integer threshold.
+
+    ``g_l`` is the (negative) gradient in the bin just below ``log2 t*`` and
+    ``g_h`` the (positive) gradient just above it; Appendix C predicts the
+    Adam oscillation period ``T ≈ r_g``.
+    """
+    if log2_t_star is None:
+        log2_t_star = find_critical_integer_threshold(problem)
+    _, g_low = problem.loss_and_log_grad(log2_t_star - delta)
+    _, g_high = problem.loss_and_log_grad(log2_t_star + delta)
+    if g_high == 0:
+        return float("inf")
+    return float(abs(g_low) / abs(g_high))
+
+
+def oscillation_period_estimate(gradient_ratio: float) -> float:
+    """Appendix C result: the oscillation period at convergence is ``T ≈ r_g``."""
+    return float(gradient_ratio)
+
+
+def max_excursion_bound(gradient_ratio: float, learning_rate: float) -> float:
+    """Equation (29): the worst-case log-threshold excursion is ``α √r_g``."""
+    return float(learning_rate * np.sqrt(max(gradient_ratio, 0.0)))
+
+
+@dataclass
+class BangBangSimulation:
+    """Result of simulating Adam on the idealized two-level gradient."""
+
+    theta: np.ndarray
+    period: float
+    excursion: float
+    gradient_ratio: float
+    learning_rate: float
+
+    @property
+    def excursion_bound(self) -> float:
+        return max_excursion_bound(self.gradient_ratio, self.learning_rate)
+
+
+def simulate_bang_bang_adam(gradient_ratio: float, g_high: float = 1.0,
+                            learning_rate: float = 0.01, beta1: float = 0.9,
+                            beta2: float = 0.999, steps: int = 20000,
+                            start_theta: float = 0.5) -> BangBangSimulation:
+    """Simulate Adam on the idealized bang-bang gradient field of Appendix C.
+
+    The gradient is ``+g_h`` while the parameter is above the integer
+    boundary at 0 and ``-g_l = -r_g * g_h`` while it is below, which drives
+    the parameter back up — the negative-feedback loop the paper analyses.
+    """
+    g_low = gradient_ratio * g_high
+    theta = start_theta
+    m = v = 0.0
+    history = np.zeros(steps)
+    for step in range(1, steps + 1):
+        grad = g_high if theta >= 0.0 else -g_low
+        m = beta1 * m + (1.0 - beta1) * grad
+        v = beta2 * v + (1.0 - beta2) * grad ** 2
+        m_hat = m / (1.0 - beta1 ** step)
+        v_hat = v / (1.0 - beta2 ** step)
+        theta -= learning_rate * m_hat / (np.sqrt(v_hat) + 1e-12)
+        history[step - 1] = theta
+
+    tail = history[steps // 2:]
+    period = _mean_period(tail)
+    excursion = float(tail.max() - tail.min())
+    return BangBangSimulation(theta=history, period=period, excursion=excursion,
+                              gradient_ratio=gradient_ratio, learning_rate=learning_rate)
+
+
+def _mean_period(values: np.ndarray) -> float:
+    """Mean distance between downward crossings of the mean level."""
+    level = values.mean()
+    above = values >= level
+    crossings = np.where(above[:-1] & ~above[1:])[0]
+    if len(crossings) < 2:
+        return float(len(values))
+    return float(np.mean(np.diff(crossings)))
+
+
+def measure_oscillations(trajectory: ThresholdTrajectory, tail: int = 500) -> dict[str, float]:
+    """Measure oscillation period and amplitude from a toy-L2 trajectory (Fig. 9)."""
+    values = trajectory.log2_t[-tail:]
+    period = _mean_period(values)
+    return {
+        "period": period,
+        "amplitude": float(values.max() - values.min()),
+        "mean_level": float(values.mean()),
+    }

@@ -1,0 +1,156 @@
+"""Threshold-deviation and distribution-shift analyses (Figures 5, 6 and 10).
+
+After TQT retraining the paper inspects, per quantized layer, the deviation
+``d = Δ ceil(log2 t)`` between the calibrated and the trained threshold:
+negative deviations mean the threshold moved *in* (precision over range, the
+characteristic behaviour of depthwise-convolution weights), positive
+deviations mean it moved *out* (range over precision).  Figure 6 histograms
+these deviations for INT8 vs INT4 retraining; Figures 5/10 overlay the
+thresholds on the weight/activation distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import GraphIR, collect_tqt_quantizers
+from ..quant.qmodules import QuantizedConv2d, QuantizedLinear
+from ..training.trainer import TrainingResult
+
+__all__ = [
+    "ThresholdDeviation",
+    "collect_threshold_deviations",
+    "deviation_histogram",
+    "LayerDistribution",
+    "collect_layer_distributions",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdDeviation:
+    """Deviation record for one quantizer (one subplot of Figure 5/10)."""
+
+    name: str
+    bits: int
+    kind: str                 # "weight" | "activation" | "bias"
+    initial_log2_t: float
+    trained_log2_t: float
+
+    @property
+    def initial_threshold(self) -> float:
+        return float(2.0 ** self.initial_log2_t)
+
+    @property
+    def trained_threshold(self) -> float:
+        return float(2.0 ** self.trained_log2_t)
+
+    @property
+    def deviation(self) -> int:
+        """``d = ceil(log2 t_trained) - ceil(log2 t_initial)`` (integer bins)."""
+        return int(np.ceil(self.trained_log2_t) - np.ceil(self.initial_log2_t))
+
+    @property
+    def prefers_precision(self) -> bool:
+        return self.deviation < 0
+
+    @property
+    def prefers_range(self) -> bool:
+        return self.deviation > 0
+
+
+def _quantizer_kind(path: str) -> str:
+    if "weight_quantizer" in path:
+        return "weight"
+    if "bias_quantizer" in path:
+        return "bias"
+    return "activation"
+
+
+def collect_threshold_deviations(result: TrainingResult,
+                                 graph: GraphIR | None = None) -> list[ThresholdDeviation]:
+    """Build deviation records from a finished TQT training run.
+
+    The bits are read from the graph when provided (so weight and activation
+    quantizers can be separated by bit-width as in Figure 6); otherwise 0 is
+    recorded.
+    """
+    bits_by_name: dict[str, int] = {}
+    if graph is not None:
+        for name, quantizer in collect_tqt_quantizers(graph).items():
+            bits_by_name[name] = quantizer.config.bits
+    deviations = []
+    for name, initial in result.initial_thresholds.items():
+        trained = result.final_thresholds.get(name, initial)
+        deviations.append(ThresholdDeviation(
+            name=name,
+            bits=bits_by_name.get(name, 0),
+            kind=_quantizer_kind(name),
+            initial_log2_t=float(initial),
+            trained_log2_t=float(trained),
+        ))
+    return deviations
+
+
+def deviation_histogram(deviations: list[ThresholdDeviation],
+                        kinds: tuple[str, ...] = ("weight", "activation")) -> dict[int, int]:
+    """Histogram of integer threshold deviations (one Figure 6 panel)."""
+    histogram: dict[int, int] = {}
+    for record in deviations:
+        if record.kind not in kinds:
+            continue
+        histogram[record.deviation] = histogram.get(record.deviation, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+@dataclass
+class LayerDistribution:
+    """Weight distribution and thresholds of one quantized compute layer."""
+
+    name: str
+    kind: str
+    values: np.ndarray
+    initial_threshold: float
+    trained_threshold: float
+    bits: int
+
+    @property
+    def clipped_fraction(self) -> float:
+        """Fraction of values outside the trained threshold."""
+        return float(np.mean(np.abs(self.values) > self.trained_threshold))
+
+
+def collect_layer_distributions(graph: GraphIR, result: TrainingResult,
+                                only_changed: bool = True) -> list[LayerDistribution]:
+    """Gather weight distributions + thresholds for Figure 5/10-style panels.
+
+    ``only_changed`` keeps only layers whose threshold moved by a non-zero
+    integer amount in the log domain, which is what the paper plots.
+    """
+    deviations = {d.name: d for d in collect_threshold_deviations(result, graph)}
+    panels: list[LayerDistribution] = []
+    for module_path, module in graph.named_modules():
+        if not isinstance(module, (QuantizedConv2d, QuantizedLinear)):
+            continue
+        weight_path = f"{module_path}.weight_quantizer"
+        record = deviations.get(weight_path)
+        if record is None:
+            continue
+        if only_changed and record.deviation == 0:
+            continue
+        if isinstance(module, QuantizedConv2d):
+            weights = module.conv.weight.data
+            kind = "depthwise" if module.conv.groups > 1 else "dense"
+        else:
+            weights = module.linear.weight.data
+            kind = "linear"
+        panels.append(LayerDistribution(
+            name=module_path,
+            kind=kind,
+            values=weights.ravel().copy(),
+            initial_threshold=record.initial_threshold,
+            trained_threshold=record.trained_threshold,
+            bits=record.bits,
+        ))
+    return panels

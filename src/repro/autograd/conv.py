@@ -1,0 +1,205 @@
+"""Vectorized convolution and pooling primitives (NCHW layout).
+
+The implementation uses im2col / col2im with NumPy stride tricks so the heavy
+lifting stays in BLAS calls rather than Python loops, following the
+ml-systems guidance of expressing algorithms with vectorized NumPy idioms.
+
+Supported ops:
+
+* :func:`conv2d` — standard and grouped 2-D convolution (grouped with
+  ``groups == in_channels`` gives the depthwise convolutions that make
+  MobileNets hard to quantize per-tensor).
+* :func:`max_pool2d`, :func:`avg_pool2d`, :func:`global_avg_pool2d`.
+
+All functions take and return :class:`~repro.autograd.tensor.Tensor` and
+register exact gradients on the tape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "conv_output_size",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "col2im",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
+           padding: tuple[int, int]) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: array of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N, C, KH, KW, OH, OW)`` sharing memory with the padded
+    input where possible.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    # windows: (N, C, H', W', KH, KW) where H' = H - KH + 1
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    # -> (N, C, KH, KW, OH, OW)
+    return np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3))
+
+
+def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+           kernel: tuple[int, int], stride: tuple[int, int],
+           padding: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add column gradients back to image."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    h_padded, w_padded = h + 2 * ph, w + 2 * pw
+    oh = conv_output_size(h, kh, sh, ph)
+    ow = conv_output_size(w, kw, sw, pw)
+    image = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
+    # cols: (N, C, KH, KW, OH, OW)
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            j_end = j + sw * ow
+            image[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph or pw:
+        image = image[:, :, ph:h_padded - ph if ph else h_padded, pw:w_padded - pw if pw else w_padded]
+    return image
+
+
+def _normalize_pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0, groups: int = 1) -> Tensor:
+    """2-D convolution over an NCHW input.
+
+    Parameters
+    ----------
+    x: ``(N, C_in, H, W)`` input tensor.
+    weight: ``(C_out, C_in // groups, KH, KW)`` filters.
+    bias: optional ``(C_out,)`` bias.
+    groups: ``1`` for dense convolution, ``C_in`` for depthwise.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    stride = _normalize_pair(stride)
+    padding = _normalize_pair(padding)
+    n, c_in, h, w = x.data.shape
+    c_out, c_in_per_group, kh, kw = weight.data.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError(f"channels ({c_in}->{c_out}) not divisible by groups={groups}")
+    if c_in_per_group != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_per_group} input channels per group, input has {c_in // groups}"
+        )
+    oh = conv_output_size(h, kh, stride[0], padding[0])
+    ow = conv_output_size(w, kw, stride[1], padding[1])
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C, KH, KW, OH, OW)
+    cols_grouped = cols.reshape(n, groups, c_in_per_group, kh, kw, oh, ow)
+    # (G, N, OH, OW, Cg*KH*KW)
+    cols_mat = cols_grouped.transpose(1, 0, 5, 6, 2, 3, 4).reshape(
+        groups, n * oh * ow, c_in_per_group * kh * kw
+    )
+    w_mat = weight.data.reshape(groups, c_out // groups, c_in_per_group * kh * kw)
+    # (G, N*OH*OW, C_out/G)
+    out_mat = np.einsum("gnk,gok->gno", cols_mat, w_mat, optimize=True)
+    out = out_mat.reshape(groups, n, oh, ow, c_out // groups)
+    out = out.transpose(1, 0, 4, 2, 3).reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, groups, c_out // groups, oh, ow)
+        g_mat = g_mat.transpose(1, 0, 3, 4, 2).reshape(groups, n * oh * ow, c_out // groups)
+        cols_grad = np.einsum("gno,gok->gnk", g_mat, w_mat, optimize=True)
+        cols_grad = cols_grad.reshape(groups, n, oh, ow, c_in_per_group, kh, kw)
+        cols_grad = cols_grad.transpose(1, 0, 4, 5, 6, 2, 3).reshape(n, c_in, kh, kw, oh, ow)
+        return col2im(cols_grad, (n, c_in, h, w), (kh, kw), stride, padding)
+
+    def grad_w(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, groups, c_out // groups, oh, ow)
+        g_mat = g_mat.transpose(1, 0, 3, 4, 2).reshape(groups, n * oh * ow, c_out // groups)
+        w_grad = np.einsum("gno,gnk->gok", g_mat, cols_mat, optimize=True)
+        return w_grad.reshape(c_out, c_in_per_group, kh, kw)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        bias = as_tensor(bias)
+        parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
+    return Tensor._make(out, parents)
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Max pooling over NCHW input."""
+    x = as_tensor(x)
+    kernel = _normalize_pair(kernel_size)
+    stride = _normalize_pair(stride if stride is not None else kernel_size)
+    padding = _normalize_pair(padding)
+    n, c, h, w = x.data.shape
+    oh = conv_output_size(h, kernel[0], stride[0], padding[0])
+    ow = conv_output_size(w, kernel[1], stride[1], padding[1])
+
+    cols = im2col(x.data, kernel, stride, padding)  # (N, C, KH, KW, OH, OW)
+    cols_flat = cols.reshape(n, c, kernel[0] * kernel[1], oh, ow)
+    argmax = cols_flat.argmax(axis=2)
+    out = np.take_along_axis(cols_flat, argmax[:, :, None, :, :], axis=2)[:, :, 0, :, :]
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        cols_grad_flat = np.zeros_like(cols_flat)
+        np.put_along_axis(cols_grad_flat, argmax[:, :, None, :, :], g[:, :, None, :, :], axis=2)
+        cols_grad = cols_grad_flat.reshape(n, c, kernel[0], kernel[1], oh, ow)
+        return col2im(cols_grad, (n, c, h, w), kernel, stride, padding)
+
+    return Tensor._make(out, [(x, grad_fn)])
+
+
+def avg_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Average pooling over NCHW input."""
+    x = as_tensor(x)
+    kernel = _normalize_pair(kernel_size)
+    stride = _normalize_pair(stride if stride is not None else kernel_size)
+    padding = _normalize_pair(padding)
+    n, c, h, w = x.data.shape
+    oh = conv_output_size(h, kernel[0], stride[0], padding[0])
+    ow = conv_output_size(w, kernel[1], stride[1], padding[1])
+    window = kernel[0] * kernel[1]
+
+    cols = im2col(x.data, kernel, stride, padding)
+    out = cols.mean(axis=(2, 3))
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        g_cols = np.broadcast_to(
+            g[:, :, None, None, :, :] / window, (n, c, kernel[0], kernel[1], oh, ow)
+        ).astype(g.dtype)
+        return col2im(g_cols, (n, c, h, w), kernel, stride, padding)
+
+    return Tensor._make(out, [(x, grad_fn)])
+
+
+def global_avg_pool2d(x: Tensor, keepdims: bool = True) -> Tensor:
+    """Global average pooling (mean over the spatial dimensions)."""
+    x = as_tensor(x)
+    return x.mean(axis=(2, 3), keepdims=keepdims)

@@ -1,0 +1,69 @@
+"""Numerical gradient checking utilities.
+
+These are used extensively by the test suite to validate the analytic
+gradients of the autograd ops and of the TQT quantizer, mirroring the
+paper's emphasis on gradient correctness (Section 3.3, Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[index]``."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - epsilon
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    epsilon: float = 1e-5,
+) -> dict[int, float]:
+    """Compare analytic and numerical gradients for every differentiable input.
+
+    Returns a mapping from input index to the maximum absolute error, and
+    raises ``AssertionError`` when any gradient disagrees beyond tolerance.
+    """
+    for t in inputs:
+        t.zero_grad()
+    output = fn(*inputs)
+    output.sum().backward()
+    errors: dict[int, float] = {}
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, i, epsilon=epsilon)
+        error = float(np.max(np.abs(analytic - numeric)))
+        errors[i] = error
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {error:.3e}"
+            )
+    return errors

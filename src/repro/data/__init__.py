@@ -1,0 +1,17 @@
+"""Synthetic dataset, preprocessing and loaders."""
+
+from .synthetic import SyntheticImageNet, DatasetSplit
+from .preprocessing import Preprocessor, normalize, center_crop, random_flip
+from .loader import DataLoader
+from .calibration_set import sample_calibration_batches
+
+__all__ = [
+    "SyntheticImageNet",
+    "DatasetSplit",
+    "Preprocessor",
+    "normalize",
+    "center_crop",
+    "random_flip",
+    "DataLoader",
+    "sample_calibration_batches",
+]

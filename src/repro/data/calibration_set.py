@@ -1,0 +1,33 @@
+"""Calibration-set sampling (Section 5.1).
+
+The paper prepares calibration sets of 50 unlabeled images randomly sampled
+from the validation split, with the standard preprocessing applied.  The
+same recipe is used here, scaled by the synthetic dataset size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .preprocessing import Preprocessor
+from .synthetic import SyntheticImageNet
+
+__all__ = ["sample_calibration_batches"]
+
+
+def sample_calibration_batches(dataset: SyntheticImageNet, num_samples: int = 50,
+                               batch_size: int = 10,
+                               preprocessor: Preprocessor | None = None,
+                               seed: int = 0) -> list[np.ndarray]:
+    """Return unlabeled calibration batches drawn from the validation split."""
+    rng = np.random.default_rng(seed)
+    num_samples = min(num_samples, dataset.val.size)
+    indices = rng.choice(dataset.val.size, size=num_samples, replace=False)
+    batches: list[np.ndarray] = []
+    for start in range(0, num_samples, batch_size):
+        batch_indices = indices[start:start + batch_size]
+        images, _ = dataset.val_batch(batch_indices)
+        if preprocessor is not None:
+            images = preprocessor(images, training=False)
+        batches.append(images)
+    return batches

@@ -1,0 +1,56 @@
+"""Mini-batch loader over the synthetic dataset."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .preprocessing import Preprocessor
+from .synthetic import DatasetSplit, SyntheticImageNet
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterates mini-batches of a dataset split.
+
+    Parameters
+    ----------
+    dataset: the synthetic dataset.
+    split: which split to draw from (``dataset.train`` or ``dataset.val``).
+    batch_size: samples per batch; the final partial batch is kept.
+    shuffle: reshuffle indices every epoch (deterministic via ``seed``).
+    preprocessor: optional preprocessing pipeline applied to every batch.
+    """
+
+    def __init__(self, dataset: SyntheticImageNet, split: DatasetSplit, batch_size: int = 16,
+                 shuffle: bool = True, preprocessor: Preprocessor | None = None,
+                 seed: int = 0) -> None:
+        self.dataset = dataset
+        self.split = split
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.preprocessor = preprocessor
+        self._rng = np.random.default_rng(seed)
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        return (self.split.size + self.batch_size - 1) // self.batch_size
+
+    @property
+    def steps_per_epoch(self) -> int:
+        return len(self)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(self.split.size)
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        self._epoch += 1
+        training = self.split.name == "train"
+        for start in range(0, self.split.size, self.batch_size):
+            batch_indices = indices[start:start + self.batch_size]
+            images, labels = self.dataset.batch(batch_indices, self.split)
+            if self.preprocessor is not None:
+                images = self.preprocessor(images, training=training)
+            yield images, labels

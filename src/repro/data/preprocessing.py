@@ -1,0 +1,65 @@
+"""Input preprocessing.
+
+The paper applies each network's standard center-crop / resize / normalize
+preprocessing and *disables* data augmentation during TQT retraining
+(Section 5.2).  The synthetic dataset is generated at the target resolution,
+so preprocessing reduces to normalization, with optional augmentation kept
+for the floating-point baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize", "center_crop", "random_flip", "Preprocessor"]
+
+
+def normalize(images: np.ndarray, mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    """Shift/scale images channel-uniformly."""
+    return (np.asarray(images, dtype=np.float64) - mean) / std
+
+
+def center_crop(images: np.ndarray, size: int) -> np.ndarray:
+    """Center-crop NCHW images to ``size`` x ``size``."""
+    _, _, h, w = images.shape
+    if size > h or size > w:
+        raise ValueError(f"crop size {size} larger than image {h}x{w}")
+    top = (h - size) // 2
+    left = (w - size) // 2
+    return images[:, :, top:top + size, left:left + size]
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator, probability: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image with the given probability (augmentation)."""
+    flipped = images.copy()
+    mask = rng.random(images.shape[0]) < probability
+    flipped[mask] = flipped[mask, :, :, ::-1]
+    return flipped
+
+
+class Preprocessor:
+    """Composable preprocessing pipeline.
+
+    Parameters
+    ----------
+    mean / std: normalization constants.
+    crop: optional center-crop size.
+    augment: enable random horizontal flips (training of FP32 baselines
+        only; TQT retraining disables augmentation).
+    """
+
+    def __init__(self, mean: float = 0.0, std: float = 1.0, crop: int | None = None,
+                 augment: bool = False, seed: int = 0) -> None:
+        self.mean = mean
+        self.std = std
+        self.crop = crop
+        self.augment = augment
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(images, dtype=np.float64)
+        if self.crop is not None:
+            out = center_crop(out, self.crop)
+        if training and self.augment:
+            out = random_flip(out, self._rng)
+        return normalize(out, self.mean, self.std)

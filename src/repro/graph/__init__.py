@@ -1,0 +1,56 @@
+"""Graffitist-style graph IR, optimization transforms and quantization modes."""
+
+from .ir import GraphIR, GraphBuilder, Node, OpKind
+from .quantize import (
+    quantize_graph,
+    clone_graph,
+    QuantizationReport,
+    collect_activation_quantizers,
+    collect_tqt_quantizers,
+    split_parameters,
+)
+from .modes import (
+    QuantizedModel,
+    RetrainMode,
+    calibrate_activations,
+    quantize_static,
+    prepare_retrain,
+)
+from .export import (
+    ConvLayerSpec,
+    LinearLayerSpec,
+    export_conv_layer,
+    export_linear_layer,
+    export_graph_specs,
+    integer_conv_forward,
+    integer_linear_forward,
+    check_conv_bit_accuracy,
+)
+from . import transforms
+
+__all__ = [
+    "GraphIR",
+    "GraphBuilder",
+    "Node",
+    "OpKind",
+    "quantize_graph",
+    "clone_graph",
+    "QuantizationReport",
+    "collect_activation_quantizers",
+    "collect_tqt_quantizers",
+    "split_parameters",
+    "QuantizedModel",
+    "RetrainMode",
+    "calibrate_activations",
+    "quantize_static",
+    "prepare_retrain",
+    "ConvLayerSpec",
+    "LinearLayerSpec",
+    "export_conv_layer",
+    "export_linear_layer",
+    "export_graph_specs",
+    "integer_conv_forward",
+    "integer_linear_forward",
+    "check_conv_bit_accuracy",
+    "transforms",
+]

@@ -1,0 +1,223 @@
+"""Fixed-point inference export and bit-accuracy verification (Section 4.2).
+
+The retrain/static graphs built by :mod:`repro.graph.modes` emulate
+quantization with fake-quant nodes in floating point.  This module exports
+the pieces a fixed-point target needs — integer weight/bias codes and
+per-tensor fractional lengths — and provides an integer-arithmetic execution
+path (built on :mod:`repro.quant.fixed_point`) used to verify that the
+fake-quantized graph is *bit-accurate* to the integer implementation, which
+is the check the paper performed between its CPU inference graphs and the
+FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..quant.config import QuantConfig
+from ..quant.fixed_point import integer_conv2d, integer_matmul, shift_requantize
+from ..quant.qmodules import QuantizedConv2d, QuantizedLinear
+from ..quant.tqt import TQTQuantizer
+from .ir import GraphIR, OpKind
+
+__all__ = [
+    "ConvLayerSpec",
+    "LinearLayerSpec",
+    "export_conv_layer",
+    "export_linear_layer",
+    "export_graph_specs",
+    "integer_conv_forward",
+    "integer_linear_forward",
+    "check_conv_bit_accuracy",
+]
+
+
+@dataclass
+class ConvLayerSpec:
+    """Deployable description of one quantized convolution."""
+
+    name: str
+    weight_codes: np.ndarray          # int codes, (C_out, C_in/groups, KH, KW)
+    weight_fraction: int              # f_w with s_w = 2^-f_w
+    bias_codes: np.ndarray | None     # int codes at accumulator scale
+    input_fraction: int
+    output_fraction: int
+    output_config: QuantConfig
+    stride: tuple | int
+    padding: tuple | int
+    groups: int
+    activation: str
+
+    @property
+    def accumulator_fraction(self) -> int:
+        return self.weight_fraction + self.input_fraction
+
+    @property
+    def requantize_shift(self) -> int:
+        """Right-shift converting accumulator scale to output scale (Eq. 16)."""
+        return self.accumulator_fraction - self.output_fraction
+
+
+@dataclass
+class LinearLayerSpec:
+    """Deployable description of one quantized fully connected layer."""
+
+    name: str
+    weight_codes: np.ndarray
+    weight_fraction: int
+    bias_codes: np.ndarray | None
+    input_fraction: int
+    output_fraction: int
+    output_config: QuantConfig
+    activation: str
+
+    @property
+    def accumulator_fraction(self) -> int:
+        return self.weight_fraction + self.input_fraction
+
+    @property
+    def requantize_shift(self) -> int:
+        return self.accumulator_fraction - self.output_fraction
+
+
+def _fraction_length(quantizer: TQTQuantizer) -> int:
+    value = quantizer.fractional_length
+    return int(np.asarray(value).reshape(-1)[0])
+
+
+def _require_tqt(module, what: str) -> TQTQuantizer:
+    if not isinstance(module, TQTQuantizer):
+        raise TypeError(f"fixed-point export requires TQT (power-of-2) quantizers for {what}")
+    return module
+
+
+def export_conv_layer(layer: QuantizedConv2d, input_fraction: int) -> ConvLayerSpec:
+    """Export a quantized conv layer given the fractional length of its input."""
+    weight_quant = _require_tqt(layer.weight_quantizer, "weights")
+    output_quant = _require_tqt(layer.output_quantizer.impl, "activations")
+    weight_fraction = _fraction_length(weight_quant)
+    weight_codes = weight_quant.quantize_to_integers(layer.conv.weight.data)
+    bias_codes = None
+    if layer.conv.bias is not None:
+        # Bias is folded in at accumulator scale s_in * s_w = 2^-(f_in + f_w).
+        accumulator_scale = 2.0 ** (-(weight_fraction + input_fraction))
+        bias_codes = np.rint(layer.conv.bias.data / accumulator_scale).astype(np.int64)
+    return ConvLayerSpec(
+        name=layer.name or "conv",
+        weight_codes=weight_codes,
+        weight_fraction=weight_fraction,
+        bias_codes=bias_codes,
+        input_fraction=input_fraction,
+        output_fraction=_fraction_length(output_quant),
+        output_config=output_quant.config,
+        stride=layer.conv.stride,
+        padding=layer.conv.padding,
+        groups=layer.conv.groups,
+        activation=layer.activation,
+    )
+
+
+def export_linear_layer(layer: QuantizedLinear, input_fraction: int) -> LinearLayerSpec:
+    weight_quant = _require_tqt(layer.weight_quantizer, "weights")
+    output_quant = _require_tqt(layer.output_quantizer.impl, "activations")
+    weight_fraction = _fraction_length(weight_quant)
+    weight_codes = weight_quant.quantize_to_integers(layer.linear.weight.data)
+    bias_codes = None
+    if layer.linear.bias is not None:
+        accumulator_scale = 2.0 ** (-(weight_fraction + input_fraction))
+        bias_codes = np.rint(layer.linear.bias.data / accumulator_scale).astype(np.int64)
+    return LinearLayerSpec(
+        name=layer.name or "linear",
+        weight_codes=weight_codes,
+        weight_fraction=weight_fraction,
+        bias_codes=bias_codes,
+        input_fraction=input_fraction,
+        output_fraction=_fraction_length(output_quant),
+        output_config=output_quant.config,
+        activation=layer.activation,
+    )
+
+
+def export_graph_specs(graph: GraphIR, input_fraction: int) -> dict[str, ConvLayerSpec | LinearLayerSpec]:
+    """Export every quantized compute layer of a sequential (chain) graph.
+
+    The input fractional length of each layer is the output fractional
+    length of its (single) producing compute layer; non-compute nodes pass
+    the fraction through unchanged.  Graphs with branching compute paths
+    should export layers individually with :func:`export_conv_layer`.
+    """
+    specs: dict[str, ConvLayerSpec | LinearLayerSpec] = {}
+    fractions: dict[str, int] = {}
+    for node in graph.topological_order():
+        if node.op == OpKind.INPUT:
+            fractions[node.name] = input_fraction
+            continue
+        producer_fraction = fractions[node.inputs[0]] if node.inputs else input_fraction
+        if node.op == OpKind.QUANT_CONV and isinstance(node.module, QuantizedConv2d):
+            spec = export_conv_layer(node.module, producer_fraction)
+            specs[node.name] = spec
+            fractions[node.name] = spec.output_fraction
+        elif node.op == OpKind.QUANT_LINEAR and isinstance(node.module, QuantizedLinear):
+            spec = export_linear_layer(node.module, producer_fraction)
+            specs[node.name] = spec
+            fractions[node.name] = spec.output_fraction
+        elif node.op == OpKind.QUANTIZE:
+            quantizer = _require_tqt(node.module.quantizer.impl, "input")
+            fractions[node.name] = _fraction_length(quantizer)
+        else:
+            fractions[node.name] = producer_fraction
+    return specs
+
+
+def _apply_integer_activation(codes: np.ndarray, activation: str) -> np.ndarray:
+    if activation == "none":
+        return codes
+    if activation in ("relu", "relu6"):
+        # ReLU on integer codes is a max with zero; ReLU6's upper clip is
+        # already enforced by the unsigned saturation of the output stage.
+        return np.maximum(codes, 0)
+    raise ValueError(f"unsupported integer activation {activation!r}")
+
+
+def integer_conv_forward(spec: ConvLayerSpec, input_codes: np.ndarray) -> np.ndarray:
+    """Run one conv layer entirely in integer arithmetic."""
+    accumulator = integer_conv2d(input_codes, spec.weight_codes, spec.bias_codes,
+                                 stride=spec.stride, padding=spec.padding, groups=spec.groups)
+    accumulator = _apply_integer_activation(accumulator, spec.activation)
+    return shift_requantize(accumulator, spec.requantize_shift, spec.output_config)
+
+
+def integer_linear_forward(spec: LinearLayerSpec, input_codes: np.ndarray) -> np.ndarray:
+    accumulator = integer_matmul(input_codes, spec.weight_codes.T)
+    if spec.bias_codes is not None:
+        accumulator = accumulator + spec.bias_codes.reshape(1, -1)
+    accumulator = _apply_integer_activation(accumulator, spec.activation)
+    return shift_requantize(accumulator, spec.requantize_shift, spec.output_config)
+
+
+def check_conv_bit_accuracy(layer: QuantizedConv2d, x: np.ndarray,
+                            input_quantizer: TQTQuantizer) -> dict[str, float]:
+    """Compare the fake-quantized layer against its integer execution.
+
+    Returns a dict with the number of mismatching codes and the maximum
+    absolute code difference; bit-accuracy means both are zero.
+    """
+    input_fraction = int(np.asarray(input_quantizer.fractional_length).reshape(-1)[0])
+    spec = export_conv_layer(layer, input_fraction)
+
+    input_codes = input_quantizer.quantize_to_integers(x)
+    integer_out = integer_conv_forward(spec, input_codes)
+
+    with no_grad():
+        fake_input = input_codes * float(input_quantizer.scale)
+        fake_out = layer(Tensor(fake_input))
+    output_quant = layer.output_quantizer.impl
+    fake_codes = output_quant.quantize_to_integers(fake_out.data)
+
+    mismatches = int(np.count_nonzero(fake_codes != integer_out))
+    max_diff = float(np.abs(fake_codes - integer_out).max()) if fake_codes.size else 0.0
+    return {"mismatches": mismatches, "max_code_difference": max_diff,
+            "total": int(fake_codes.size)}

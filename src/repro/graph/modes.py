@@ -1,0 +1,169 @@
+"""Quantization modes: static (calibrate-only) and retrain (Section 4.2).
+
+* **Static mode** — thresholds come purely from calibration statistics:
+  weights use MAX, activations minimize the local KL-J distance, layer by
+  layer in strict topological order so every layer is calibrated against
+  already-quantized inputs.  Nothing is trained.
+* **Retrain mode** — produces a quantized *training* graph.  In ``wt`` mode
+  only the weights train (thresholds stay at their calibrated values); in
+  ``wt,th`` mode (TQT) weights and log-thresholds train jointly on the
+  global loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..quant.config import LayerPrecision
+from ..quant.qmodules import ActivationQuantizer, QuantScheme
+from .ir import GraphIR
+from .quantize import (
+    QuantizationReport,
+    clone_graph,
+    collect_activation_quantizers,
+    quantize_graph,
+)
+
+__all__ = [
+    "RetrainMode",
+    "QuantizedModel",
+    "calibrate_activations",
+    "quantize_static",
+    "prepare_retrain",
+]
+
+RetrainMode = Literal["static", "wt", "wt,th"]
+
+
+@dataclass
+class QuantizedModel:
+    """A quantized graph plus the metadata the trainer needs."""
+
+    graph: GraphIR
+    scheme: QuantScheme
+    mode: RetrainMode
+    report: QuantizationReport
+    calibration_thresholds: dict[str, float]
+
+
+def _ordered_activation_quantizers(graph: GraphIR) -> list[tuple[str, ActivationQuantizer]]:
+    """Activation quantizers in graph-topological order.
+
+    Quantizers attached to the same node keep their discovery order
+    (input, internal, output), which matches the data flow inside the node.
+    """
+    quantizers = collect_activation_quantizers(graph)
+    node_order = {node.name: i for i, node in enumerate(graph.topological_order())}
+
+    def sort_key(item: tuple[str, ActivationQuantizer]) -> tuple[int, str]:
+        path = item[0]
+        node_attr = path.split(".")[0]
+        node_name = node_attr.replace("node_", "", 1)
+        # Attribute names had '/', '.' and '-' replaced by '_' at registration
+        # time; fall back to a large index when the node cannot be recovered.
+        for candidate, index in node_order.items():
+            sanitized = candidate.replace("/", "_").replace(".", "_").replace("-", "_")
+            if sanitized == node_name:
+                return index, path
+        return len(node_order), path
+
+    return sorted(quantizers.items(), key=sort_key)
+
+
+def calibrate_activations(graph: GraphIR, calibration_batches: Iterable[np.ndarray],
+                          sequential: bool = True) -> dict[str, float]:
+    """Calibrate every activation quantizer from calibration data.
+
+    Parameters
+    ----------
+    graph: a graph already rewritten by :func:`quantize_graph`.
+    calibration_batches: iterable of input arrays (NCHW); re-iterated once
+        per layer in sequential mode, so pass a list.
+    sequential: calibrate layers one at a time in topological order (the
+        paper's procedure — inputs to a layer are quantized and fixed before
+        the layer itself is calibrated).  ``False`` collects statistics for
+        all layers in a single pass, which is faster but less faithful.
+
+    Returns a mapping from quantizer path to the calibrated raw threshold.
+    """
+    batches = list(calibration_batches)
+    if not batches:
+        raise ValueError("calibration requires at least one batch")
+    ordered = _ordered_activation_quantizers(graph)
+    thresholds: dict[str, float] = {}
+    graph.eval()
+
+    if sequential:
+        # Start from a fully bypassed graph, then lock in one quantizer at a time.
+        for _, quantizer in ordered:
+            quantizer.set_mode("bypass")
+        for path, quantizer in ordered:
+            quantizer.start_calibration()
+            with no_grad():
+                for batch in batches:
+                    graph(Tensor(batch))
+            thresholds[path] = quantizer.finalize_calibration()
+    else:
+        for _, quantizer in ordered:
+            quantizer.start_calibration()
+        with no_grad():
+            for batch in batches:
+                graph(Tensor(batch))
+        for path, quantizer in ordered:
+            thresholds[path] = quantizer.finalize_calibration()
+    graph.train()
+    return thresholds
+
+
+def quantize_static(graph: GraphIR, calibration_batches: Iterable[np.ndarray],
+                    precision: LayerPrecision | None = None,
+                    method: str = "tqt", sequential: bool = True,
+                    copy: bool = True) -> QuantizedModel:
+    """Static quantization: MAX weights, KL-J activations, no training.
+
+    The input graph should be the FP32 graph *after* the optimization passes
+    (:func:`repro.graph.transforms.run_default_optimizations`).
+    """
+    target = clone_graph(graph) if copy else graph
+    scheme = QuantScheme(
+        method=method,
+        precision=precision or LayerPrecision(),
+        train_thresholds=False,
+        weight_init="max",
+        activation_init="kl-j",
+    )
+    report = quantize_graph(target, scheme)
+    thresholds = calibrate_activations(target, calibration_batches, sequential=sequential)
+    return QuantizedModel(graph=target, scheme=scheme, mode="static",
+                          report=report, calibration_thresholds=thresholds)
+
+
+def prepare_retrain(graph: GraphIR, calibration_batches: Iterable[np.ndarray],
+                    mode: RetrainMode = "wt,th",
+                    precision: LayerPrecision | None = None,
+                    method: str = "tqt", sequential: bool = True,
+                    copy: bool = True) -> QuantizedModel:
+    """Build a quantized training graph for wt-only or wt+th (TQT) retraining.
+
+    Threshold initialization follows Table 2: weights use MAX for wt-only
+    mode and 3SD for wt+th mode; activations are always KL-J calibrated.
+    """
+    if mode not in ("wt", "wt,th"):
+        raise ValueError(f"retrain mode must be 'wt' or 'wt,th', got {mode!r}")
+    target = clone_graph(graph) if copy else graph
+    train_thresholds = mode == "wt,th"
+    scheme = QuantScheme(
+        method=method,
+        precision=precision or LayerPrecision(),
+        train_thresholds=train_thresholds,
+        weight_init="3sd" if train_thresholds else "max",
+        activation_init="kl-j",
+    )
+    report = quantize_graph(target, scheme)
+    thresholds = calibrate_activations(target, calibration_batches, sequential=sequential)
+    return QuantizedModel(graph=target, scheme=scheme, mode=mode,
+                          report=report, calibration_thresholds=thresholds)

@@ -1,0 +1,33 @@
+"""Graph optimization passes applied before quantization (Section 4.1)."""
+
+from .bn_fold import fold_batch_norms
+from .splice_identity import splice_identities
+from .collapse_concat import collapse_concats
+from .avgpool_to_dwconv import avgpool_to_depthwise_conv
+from .merge_scales import ScaleGroup, find_scale_merge_groups
+
+__all__ = [
+    "fold_batch_norms",
+    "splice_identities",
+    "collapse_concats",
+    "avgpool_to_depthwise_conv",
+    "ScaleGroup",
+    "find_scale_merge_groups",
+    "run_default_optimizations",
+]
+
+
+def run_default_optimizations(graph, channel_hints: dict[str, int] | None = None) -> dict[str, int]:
+    """Run the standard Graffitist optimization pipeline in order.
+
+    Returns a dictionary with the number of rewrites each pass performed, so
+    callers (and tests) can assert which transformations fired.
+    """
+    report = {
+        "identities_spliced": splice_identities(graph),
+        "batch_norms_folded": fold_batch_norms(graph),
+        "concats_collapsed": collapse_concats(graph),
+        "avgpools_rewritten": avgpool_to_depthwise_conv(graph, channel_hints or {}),
+    }
+    graph.validate()
+    return report

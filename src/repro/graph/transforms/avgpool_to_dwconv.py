@@ -1,0 +1,56 @@
+"""Average-pool to depthwise-convolution rewriting (Section 4.1).
+
+Average pooling is re-expressed as a depthwise convolution whose weights are
+the reciprocal ``1 / F^2`` of the kernel area, so the op can be quantized
+with the standard compute-layer rules (weights become an 8-bit constant and
+the accumulation happens in the 16-bit internal precision).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import AvgPool2d, DepthwiseConv2d, GlobalAvgPool2d
+from ..ir import GraphIR, Node, OpKind
+
+__all__ = ["avgpool_to_depthwise_conv"]
+
+
+def _make_reciprocal_conv(channels: int, kernel: tuple[int, int], stride, padding) -> DepthwiseConv2d:
+    conv = DepthwiseConv2d(channels, kernel, stride=stride, padding=padding, bias=False)
+    conv.weight.data[...] = 1.0 / float(kernel[0] * kernel[1])
+    conv.weight.requires_grad = False  # the reciprocal is a constant, not a trainable weight
+    return conv
+
+
+def avgpool_to_depthwise_conv(graph: GraphIR, channel_hints: dict[str, int]) -> int:
+    """Replace avg-pool nodes with reciprocal depthwise convolutions.
+
+    Parameters
+    ----------
+    channel_hints: mapping from avg-pool node name to its channel count
+        (the IR is shape-agnostic, so the caller — usually the model builder
+        or the quantization driver — supplies channel counts).
+
+    Returns the number of nodes rewritten.  Global average pooling is left
+    as-is when no spatial size hint is available (it is handled as a
+    lossless mean by the quantization pass).
+    """
+    rewritten = 0
+    for node in list(graph.nodes_of_kind(OpKind.AVGPOOL)):
+        channels = channel_hints.get(node.name)
+        if channels is None:
+            continue
+        pool = node.module
+        if not isinstance(pool, AvgPool2d):
+            continue
+        kernel = pool.kernel_size
+        kernel = (kernel, kernel) if isinstance(kernel, int) else tuple(kernel)
+        stride = pool.stride if pool.stride is not None else kernel
+        conv = _make_reciprocal_conv(channels, kernel, stride, pool.padding)
+        replacement = Node(name=node.name, op=OpKind.DEPTHWISE_CONV, module=conv,
+                           inputs=list(node.inputs),
+                           attrs={**node.attrs, "reciprocal_avgpool": True})
+        graph.replace_node(node.name, replacement)
+        rewritten += 1
+    return rewritten

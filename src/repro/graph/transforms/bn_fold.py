@@ -1,0 +1,75 @@
+"""Batch-norm folding transform (Section 4.1).
+
+Folds a ``BatchNorm2d`` node into the weights and bias of the preceding
+convolution / depthwise convolution / linear layer so the training and
+inference graphs are mathematically equivalent:
+
+``y = gamma * (W*x + b - mu) / sqrt(var + eps) + beta
+   = (gamma / sqrt(var + eps)) * W * x + (beta + (b - mu) * gamma / sqrt(var + eps))``
+
+The transform uses the *moving* statistics, matching the paper's requirement
+that distributions seen during quantized training match inference; the
+trainer separately freezes the moving statistics after one epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import BatchNorm2d, Conv2d, Linear, Parameter
+from ..ir import GraphIR, OpKind
+
+__all__ = ["fold_batch_norms"]
+
+
+def _fold_into_conv(conv: Conv2d, bn: BatchNorm2d) -> None:
+    scale, offset = bn.effective_scale_offset()
+    # Conv weight layout is (C_out, C_in/groups, KH, KW): scale per C_out.
+    conv.weight.data *= scale.reshape(-1, 1, 1, 1)
+    bias = conv.bias.data if conv.bias is not None else np.zeros(conv.out_channels)
+    new_bias = offset + bias * scale
+    if conv.bias is None:
+        conv.bias = Parameter(new_bias)
+    else:
+        conv.bias.data[...] = new_bias
+
+
+def _fold_into_linear(linear: Linear, bn: BatchNorm2d) -> None:
+    scale, offset = bn.effective_scale_offset()
+    linear.weight.data *= scale.reshape(-1, 1)
+    bias = linear.bias.data if linear.bias is not None else np.zeros(linear.out_features)
+    new_bias = offset + bias * scale
+    if linear.bias is None:
+        linear.bias = Parameter(new_bias)
+    else:
+        linear.bias.data[...] = new_bias
+
+
+def fold_batch_norms(graph: GraphIR) -> int:
+    """Fold every ``conv -> batchnorm`` pair in place.
+
+    Only folds when the convolution's *sole* consumer is the batch norm, so
+    branches that also read the pre-normalization activations are left
+    untouched.  Returns the number of batch norms folded.
+    """
+    folded = 0
+    for bn_node in list(graph.nodes_of_kind(OpKind.BATCHNORM)):
+        if bn_node.name not in graph.nodes:
+            continue
+        if len(bn_node.inputs) != 1:
+            continue
+        producer = graph.nodes[bn_node.inputs[0]]
+        if producer.op not in (OpKind.CONV, OpKind.DEPTHWISE_CONV, OpKind.LINEAR):
+            continue
+        if len(graph.consumers(producer.name)) != 1:
+            continue
+        bn = bn_node.module
+        if not isinstance(bn, BatchNorm2d):
+            continue
+        if producer.op == OpKind.LINEAR:
+            _fold_into_linear(producer.module, bn)
+        else:
+            _fold_into_conv(producer.module, bn)
+        graph.remove_node(bn_node.name)
+        folded += 1
+    return folded

@@ -1,0 +1,46 @@
+"""Concat-of-concat collapsing transform (Section 4.1).
+
+Inception-style graphs sometimes concatenate the result of another concat;
+since both share the axis, the nested concat can be inlined into its
+consumer, so the quantization pass only needs to merge one set of input
+scales.
+"""
+
+from __future__ import annotations
+
+from ..ir import GraphIR, OpKind
+
+__all__ = ["collapse_concats"]
+
+
+def collapse_concats(graph: GraphIR) -> int:
+    """Inline concat nodes whose only consumer is another same-axis concat."""
+    collapsed = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.nodes_of_kind(OpKind.CONCAT)):
+            inner_names = [
+                name for name in node.inputs
+                if name in graph.nodes
+                and graph.nodes[name].op == OpKind.CONCAT
+                and graph.nodes[name].attrs.get("axis", 1) == node.attrs.get("axis", 1)
+                and len(graph.consumers(name)) == 1
+            ]
+            if not inner_names:
+                continue
+            new_inputs: list[str] = []
+            for name in node.inputs:
+                if name in inner_names:
+                    new_inputs.extend(graph.nodes[name].inputs)
+                else:
+                    new_inputs.append(name)
+            node.inputs = new_inputs
+            for name in inner_names:
+                inner = graph.nodes[name]
+                inner.inputs = []
+                graph._unregister_module(inner)
+                del graph.nodes[name]
+                collapsed += 1
+            changed = True
+    return collapsed

@@ -1,0 +1,39 @@
+"""Scale-merging analysis (Section 4.1 / 4.3).
+
+Scale-preserving ops — concat, bias-add, eltwise-add and maximum (leaky
+relu) — require their inputs to share a single quantization scale so the op
+can run directly on integer codes.  This analysis walks the graph and
+returns the groups of producer nodes whose output quantizers must be merged;
+the quantization pass realises a merge by routing every member through the
+same quantizer module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import GraphIR, OpKind
+
+__all__ = ["ScaleGroup", "find_scale_merge_groups"]
+
+
+@dataclass(frozen=True)
+class ScaleGroup:
+    """A set of producer node names that must share one output scale."""
+
+    consumer: str
+    op: str
+    members: tuple[str, ...]
+
+
+def find_scale_merge_groups(graph: GraphIR) -> list[ScaleGroup]:
+    """Return one :class:`ScaleGroup` per scale-preserving op in the graph."""
+    groups: list[ScaleGroup] = []
+    for node in graph.topological_order():
+        if node.op in (OpKind.ADD, OpKind.QUANT_ADD, OpKind.CONCAT, OpKind.QUANT_CONCAT):
+            groups.append(ScaleGroup(consumer=node.name, op=node.op,
+                                     members=tuple(node.inputs)))
+        elif node.op in (OpKind.LEAKY_RELU, OpKind.QUANT_LEAKY_RELU):
+            groups.append(ScaleGroup(consumer=node.name, op=node.op,
+                                     members=tuple(node.inputs)))
+    return groups

@@ -1,0 +1,26 @@
+"""Identity / dropout splicing transform (Section 4.1).
+
+Removes nodes that are no-ops at inference time — explicit identities and
+dropout layers — rewiring their consumers to the producer.  The paper
+removes dropout before TQT retraining anyway (Section 5.2), so the spliced
+graph is what both static and retrain modes operate on.
+"""
+
+from __future__ import annotations
+
+from ..ir import GraphIR, OpKind
+
+__all__ = ["splice_identities"]
+
+
+def splice_identities(graph: GraphIR) -> int:
+    """Remove identity and dropout nodes; returns how many were removed."""
+    removed = 0
+    for node in list(graph.nodes.values()):
+        if node.op not in OpKind.PASSTHROUGH_KINDS:
+            continue
+        if len(node.inputs) != 1:
+            continue
+        graph.remove_node(node.name)
+        removed += 1
+    return removed

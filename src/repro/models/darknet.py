@@ -1,0 +1,44 @@
+"""Scaled-down DarkNet-19 style network (conv/BN/leaky-ReLU stacks).
+
+DarkNet is the other "hard" network of Table 3; its leaky-ReLU activations
+exercise the dedicated 16-bit-internal quantization topology of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import GraphBuilder, GraphIR, OpKind
+
+__all__ = ["darknet_nano"]
+
+
+def _conv_bn_leaky(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                   out_channels: int, rng: np.random.Generator, kernel: int = 3) -> str:
+    padding = kernel // 2
+    x = builder.layer(f"{name}_conv", OpKind.CONV,
+                      nn.Conv2d(in_channels, out_channels, kernel, padding=padding, rng=rng), x)
+    x = builder.layer(f"{name}_bn", OpKind.BATCHNORM, nn.BatchNorm2d(out_channels), x)
+    return builder.layer(f"{name}_leaky", OpKind.LEAKY_RELU, nn.LeakyReLU(0.1), x)
+
+
+def darknet_nano(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                 seed: int = 0) -> GraphIR:
+    """DarkNet-19 analogue: three leaky-ReLU conv stages with 1x1 bottlenecks."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder("darknet_nano")
+    x = builder.input("input")
+    x = _conv_bn_leaky(builder, x, "stage1", in_channels, base_width, rng)
+    x = builder.layer("pool1", OpKind.MAXPOOL, nn.MaxPool2d(2), x)
+    x = _conv_bn_leaky(builder, x, "stage2a", base_width, base_width * 2, rng)
+    x = _conv_bn_leaky(builder, x, "stage2b", base_width * 2, base_width, rng, kernel=1)
+    x = _conv_bn_leaky(builder, x, "stage2c", base_width, base_width * 2, rng)
+    x = builder.layer("pool2", OpKind.MAXPOOL, nn.MaxPool2d(2), x)
+    x = _conv_bn_leaky(builder, x, "stage3a", base_width * 2, base_width * 4, rng)
+    x = _conv_bn_leaky(builder, x, "stage3b", base_width * 4, base_width * 2, rng, kernel=1)
+    x = _conv_bn_leaky(builder, x, "stage3c", base_width * 2, base_width * 4, rng)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(base_width * 4, num_classes, rng=rng), x)
+    return builder.build(x)

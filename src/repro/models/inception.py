@@ -1,0 +1,85 @@
+"""Scaled-down Inception-style networks (parallel branches + concat).
+
+The inception module exercises two graph features the quantizer must handle:
+channel concatenation (whose input scales are merged so the op is lossless,
+Section 4.3) and an average-pool branch (rewritten to a reciprocal depthwise
+convolution by the graph transform of Section 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import GraphBuilder, GraphIR, OpKind
+
+__all__ = ["inception_nano", "inception_nano_deep", "avgpool_channel_hints"]
+
+
+def _conv_bn_relu(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                  out_channels: int, rng: np.random.Generator, kernel: int = 3,
+                  stride: int = 1) -> str:
+    padding = kernel // 2
+    x = builder.layer(f"{name}_conv", OpKind.CONV,
+                      nn.Conv2d(in_channels, out_channels, kernel, stride=stride,
+                                padding=padding, rng=rng), x)
+    x = builder.layer(f"{name}_bn", OpKind.BATCHNORM, nn.BatchNorm2d(out_channels), x)
+    return builder.layer(f"{name}_relu", OpKind.RELU, nn.ReLU(), x)
+
+
+def _inception_block(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                     branch_channels: int, rng: np.random.Generator,
+                     avgpool_hints: dict[str, int]) -> tuple[str, int]:
+    """Four branches: 1x1, 3x3, 5x5 (as stacked 3x3), and avgpool + 1x1."""
+    b1 = _conv_bn_relu(builder, x, f"{name}_b1", in_channels, branch_channels, rng, kernel=1)
+    b2 = _conv_bn_relu(builder, x, f"{name}_b2a", in_channels, branch_channels, rng, kernel=1)
+    b2 = _conv_bn_relu(builder, b2, f"{name}_b2b", branch_channels, branch_channels, rng, kernel=3)
+    b3 = _conv_bn_relu(builder, x, f"{name}_b3a", in_channels, branch_channels, rng, kernel=1)
+    b3 = _conv_bn_relu(builder, b3, f"{name}_b3b", branch_channels, branch_channels, rng, kernel=3)
+    b3 = _conv_bn_relu(builder, b3, f"{name}_b3c", branch_channels, branch_channels, rng, kernel=3)
+    pool_name = f"{name}_b4_pool"
+    b4 = builder.layer(pool_name, OpKind.AVGPOOL, nn.AvgPool2d(3, stride=1, padding=1), x)
+    avgpool_hints[pool_name] = in_channels
+    b4 = _conv_bn_relu(builder, b4, f"{name}_b4", in_channels, branch_channels, rng, kernel=1)
+    out = builder.concat(f"{name}_concat", [b1, b2, b3, b4], axis=1)
+    return out, branch_channels * 4
+
+
+def _build_inception(name: str, num_blocks: int, num_classes: int, in_channels: int,
+                     base_width: int, seed: int) -> tuple[GraphIR, dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(name)
+    avgpool_hints: dict[str, int] = {}
+    x = builder.input("input")
+    x = _conv_bn_relu(builder, x, "stem", in_channels, base_width, rng)
+    x = builder.layer("stem_pool", OpKind.MAXPOOL, nn.MaxPool2d(2), x)
+    channels = base_width
+    for block in range(num_blocks):
+        x, channels = _inception_block(builder, x, f"mixed{block + 1}", channels,
+                                       base_width, rng, avgpool_hints)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(channels, num_classes, rng=rng), x)
+    graph = builder.build(x)
+    graph.avgpool_channel_hints = avgpool_hints  # used by the avgpool transform
+    return graph, avgpool_hints
+
+
+def inception_nano(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                   seed: int = 0) -> GraphIR:
+    """Inception v1/v2 analogue: two inception blocks."""
+    graph, _ = _build_inception("inception_nano", 2, num_classes, in_channels, base_width, seed)
+    return graph
+
+
+def inception_nano_deep(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                        seed: int = 0) -> GraphIR:
+    """Inception v3/v4 analogue: three inception blocks."""
+    graph, _ = _build_inception("inception_nano_deep", 3, num_classes, in_channels,
+                                base_width, seed)
+    return graph
+
+
+def avgpool_channel_hints(graph: GraphIR) -> dict[str, int]:
+    """Channel hints for the avgpool->depthwise transform, if the model recorded them."""
+    return getattr(graph, "avgpool_channel_hints", {})

@@ -1,0 +1,30 @@
+"""A small LeNet-style CNN used by the quickstart example and fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import GraphBuilder, GraphIR, OpKind
+
+__all__ = ["lenet_nano"]
+
+
+def lenet_nano(num_classes: int = 10, in_channels: int = 3, image_size: int = 16,
+               seed: int = 0) -> GraphIR:
+    """Two conv blocks plus a classifier; the smallest network in the zoo."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder("lenet_nano")
+    x = builder.input("input")
+    x = builder.layer("conv1", OpKind.CONV, nn.Conv2d(in_channels, 8, 3, padding=1, rng=rng), x)
+    x = builder.layer("bn1", OpKind.BATCHNORM, nn.BatchNorm2d(8), x)
+    x = builder.layer("relu1", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer("pool1", OpKind.MAXPOOL, nn.MaxPool2d(2), x)
+    x = builder.layer("conv2", OpKind.CONV, nn.Conv2d(8, 16, 3, padding=1, rng=rng), x)
+    x = builder.layer("bn2", OpKind.BATCHNORM, nn.BatchNorm2d(16), x)
+    x = builder.layer("relu2", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer("pool2", OpKind.MAXPOOL, nn.MaxPool2d(2), x)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(16, num_classes, rng=rng), x)
+    return builder.build(x)

@@ -1,0 +1,134 @@
+"""Scaled-down MobileNet v1 / v2 networks (depthwise-separable convolutions).
+
+These are the paper's headline networks: per-tensor symmetric quantization
+of depthwise convolution weights fails badly after calibration because the
+per-channel weight ranges differ by orders of magnitude, and only trained
+thresholds (TQT) recover floating-point accuracy (Table 1, Section 6.2).
+
+To reproduce that pathology on a synthetic task, the depthwise weight
+initialization deliberately spreads per-channel scales over several orders
+of magnitude (``channel_range_spread``), mimicking the irregular
+distributions of real ImageNet-trained MobileNets shown in Figure 5 of the
+paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import GraphBuilder, GraphIR, OpKind
+
+__all__ = ["mobilenet_v1_nano", "mobilenet_v2_nano"]
+
+
+def _spread_depthwise_channels(conv: nn.DepthwiseConv2d, bn: nn.BatchNorm2d,
+                               rng: np.random.Generator, spread: float) -> None:
+    """Give the depthwise block per-channel scale diversity that survives BN folding.
+
+    Each depthwise filter and the matching batch-norm gain are scaled by a
+    log-uniform factor in ``[1/spread, spread]``.  Scaling only the weights
+    would be undone when the following batch norm is folded (folding divides
+    by the per-channel output standard deviation), so the gain carries the
+    diversity into the *folded* weights and the post-BN activations — the
+    situation real ImageNet-trained MobileNets exhibit (Figure 5 of the
+    paper) and the reason per-tensor calibrate-only quantization fails on
+    them.
+    """
+    if spread <= 1.0:
+        return
+    channels = conv.weight.data.shape[0]
+    log_spread = np.log(spread)
+    factors = np.exp(rng.uniform(-log_spread, log_spread, size=channels))
+    conv.weight.data *= factors.reshape(-1, 1, 1, 1)
+    bn.gamma.data *= factors
+
+
+def _conv_bn_relu6(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                   out_channels: int, rng: np.random.Generator, stride: int = 1,
+                   kernel: int = 3) -> str:
+    padding = kernel // 2
+    x = builder.layer(f"{name}_conv", OpKind.CONV,
+                      nn.Conv2d(in_channels, out_channels, kernel, stride=stride,
+                                padding=padding, rng=rng), x)
+    x = builder.layer(f"{name}_bn", OpKind.BATCHNORM, nn.BatchNorm2d(out_channels), x)
+    return builder.layer(f"{name}_relu6", OpKind.RELU6, nn.ReLU6(), x)
+
+
+def _depthwise_separable(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                         out_channels: int, rng: np.random.Generator, stride: int,
+                         spread: float) -> str:
+    depthwise = nn.DepthwiseConv2d(in_channels, 3, stride=stride, padding=1, rng=rng)
+    bn = nn.BatchNorm2d(in_channels)
+    _spread_depthwise_channels(depthwise, bn, rng, spread)
+    x = builder.layer(f"{name}_dw", OpKind.DEPTHWISE_CONV, depthwise, x)
+    x = builder.layer(f"{name}_dw_bn", OpKind.BATCHNORM, bn, x)
+    x = builder.layer(f"{name}_dw_relu6", OpKind.RELU6, nn.ReLU6(), x)
+    return _conv_bn_relu6(builder, x, f"{name}_pw", in_channels, out_channels, rng, kernel=1)
+
+
+def mobilenet_v1_nano(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                      channel_range_spread: float = 8.0, seed: int = 0) -> GraphIR:
+    """MobileNet v1 analogue: a stem conv followed by depthwise-separable blocks."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder("mobilenet_v1_nano")
+    x = builder.input("input")
+    x = _conv_bn_relu6(builder, x, "stem", in_channels, base_width, rng, stride=1)
+    configuration = [
+        (base_width, base_width * 2, 1),
+        (base_width * 2, base_width * 2, 2),
+        (base_width * 2, base_width * 4, 1),
+        (base_width * 4, base_width * 4, 2),
+    ]
+    for i, (cin, cout, stride) in enumerate(configuration, start=1):
+        x = _depthwise_separable(builder, x, f"dws{i}", cin, cout, rng, stride,
+                                 channel_range_spread)
+    channels = configuration[-1][1]
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(channels, num_classes, rng=rng), x)
+    return builder.build(x)
+
+
+def _inverted_residual(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                       out_channels: int, expansion: int, stride: int,
+                       rng: np.random.Generator, spread: float) -> str:
+    hidden = in_channels * expansion
+    y = _conv_bn_relu6(builder, x, f"{name}_expand", in_channels, hidden, rng, kernel=1)
+    depthwise = nn.DepthwiseConv2d(hidden, 3, stride=stride, padding=1, rng=rng)
+    bn = nn.BatchNorm2d(hidden)
+    _spread_depthwise_channels(depthwise, bn, rng, spread)
+    y = builder.layer(f"{name}_dw", OpKind.DEPTHWISE_CONV, depthwise, y)
+    y = builder.layer(f"{name}_dw_bn", OpKind.BATCHNORM, bn, y)
+    y = builder.layer(f"{name}_dw_relu6", OpKind.RELU6, nn.ReLU6(), y)
+    # Linear bottleneck: projection conv has no activation.
+    y = builder.layer(f"{name}_project_conv", OpKind.CONV,
+                      nn.Conv2d(hidden, out_channels, 1, rng=rng), y)
+    y = builder.layer(f"{name}_project_bn", OpKind.BATCHNORM, nn.BatchNorm2d(out_channels), y)
+    if stride == 1 and in_channels == out_channels:
+        return builder.add(f"{name}_add", y, x)
+    return y
+
+
+def mobilenet_v2_nano(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                      channel_range_spread: float = 8.0, seed: int = 0) -> GraphIR:
+    """MobileNet v2 analogue: inverted residual blocks with linear bottlenecks."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder("mobilenet_v2_nano")
+    x = builder.input("input")
+    x = _conv_bn_relu6(builder, x, "stem", in_channels, base_width, rng, stride=1)
+    configuration = [
+        (base_width, base_width, 2, 1),
+        (base_width, base_width * 2, 2, 2),
+        (base_width * 2, base_width * 2, 2, 1),
+        (base_width * 2, base_width * 4, 2, 2),
+    ]
+    for i, (cin, cout, expansion, stride) in enumerate(configuration, start=1):
+        x = _inverted_residual(builder, x, f"ir{i}", cin, cout, expansion, stride, rng,
+                               channel_range_spread)
+    channels = configuration[-1][1]
+    x = _conv_bn_relu6(builder, x, "head", channels, channels * 2, rng, kernel=1)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(channels * 2, num_classes, rng=rng), x)
+    return builder.build(x)

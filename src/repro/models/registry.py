@@ -1,0 +1,67 @@
+"""Model registry mapping paper network names to scaled-down factories.
+
+Each entry records which full-size network of the paper's evaluation suite
+(Table 3) the nano model stands in for, so the benchmark harness can emit
+rows with the paper's naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graph import GraphIR
+from .darknet import darknet_nano
+from .inception import inception_nano, inception_nano_deep
+from .lenet import lenet_nano
+from .mobilenet import mobilenet_v1_nano, mobilenet_v2_nano
+from .resnet import resnet_nano, resnet_nano_deep
+from .vgg import vgg_nano, vgg_nano_deep
+
+__all__ = ["ModelSpec", "MODEL_REGISTRY", "build_model", "available_models"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Metadata for one model-zoo entry."""
+
+    name: str
+    paper_name: str
+    factory: Callable[..., GraphIR]
+    input_size: int = 16
+    in_channels: int = 3
+    difficult: bool = False   # paper's "difficult to quantize" flag (depthwise / leaky relu)
+
+    def build(self, num_classes: int = 10, seed: int = 0, **kwargs) -> GraphIR:
+        return self.factory(num_classes=num_classes, in_channels=self.in_channels,
+                            seed=seed, **kwargs)
+
+
+MODEL_REGISTRY: dict[str, ModelSpec] = {
+    "lenet_nano": ModelSpec("lenet_nano", "LeNet (sanity)", lenet_nano),
+    "vgg_nano": ModelSpec("vgg_nano", "VGG 16", vgg_nano),
+    "vgg_nano_deep": ModelSpec("vgg_nano_deep", "VGG 19", vgg_nano_deep),
+    "inception_nano": ModelSpec("inception_nano", "Inception v1/v2", inception_nano),
+    "inception_nano_deep": ModelSpec("inception_nano_deep", "Inception v3/v4",
+                                     inception_nano_deep),
+    "resnet_nano": ModelSpec("resnet_nano", "ResNet v1 50", resnet_nano),
+    "resnet_nano_deep": ModelSpec("resnet_nano_deep", "ResNet v1 101/152", resnet_nano_deep),
+    "mobilenet_v1_nano": ModelSpec("mobilenet_v1_nano", "MobileNet v1 1.0 224",
+                                   mobilenet_v1_nano, difficult=True),
+    "mobilenet_v2_nano": ModelSpec("mobilenet_v2_nano", "MobileNet v2 1.0 224",
+                                   mobilenet_v2_nano, difficult=True),
+    "darknet_nano": ModelSpec("darknet_nano", "DarkNet 19", darknet_nano, difficult=True),
+}
+
+
+def available_models() -> list[str]:
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, num_classes: int = 10, seed: int = 0, **kwargs) -> GraphIR:
+    """Build a model from the registry by name."""
+    try:
+        spec = MODEL_REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from exc
+    return spec.build(num_classes=num_classes, seed=seed, **kwargs)

@@ -1,0 +1,73 @@
+"""Scaled-down ResNet v1 networks (residual blocks with eltwise-add).
+
+The residual add is the structural feature that matters for quantization:
+its two inputs must share a merged scale (Section 4.3), and the quantization
+pass turns every ``add`` node into a :class:`QuantizedAdd`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import GraphBuilder, GraphIR, OpKind
+
+__all__ = ["resnet_nano", "resnet_nano_deep"]
+
+
+def _conv_bn(builder: GraphBuilder, x: str, name: str, in_channels: int, out_channels: int,
+             rng: np.random.Generator, stride: int = 1, kernel: int = 3,
+             relu: bool = True) -> str:
+    padding = kernel // 2
+    x = builder.layer(f"{name}_conv", OpKind.CONV,
+                      nn.Conv2d(in_channels, out_channels, kernel, stride=stride,
+                                padding=padding, rng=rng), x)
+    x = builder.layer(f"{name}_bn", OpKind.BATCHNORM, nn.BatchNorm2d(out_channels), x)
+    if relu:
+        x = builder.layer(f"{name}_relu", OpKind.RELU, nn.ReLU(), x)
+    return x
+
+
+def _residual_block(builder: GraphBuilder, x: str, name: str, in_channels: int,
+                    out_channels: int, rng: np.random.Generator, stride: int = 1) -> str:
+    shortcut = x
+    if stride != 1 or in_channels != out_channels:
+        shortcut = _conv_bn(builder, x, f"{name}_short", in_channels, out_channels, rng,
+                            stride=stride, kernel=1, relu=False)
+    y = _conv_bn(builder, x, f"{name}_a", in_channels, out_channels, rng, stride=stride)
+    y = _conv_bn(builder, y, f"{name}_b", out_channels, out_channels, rng, relu=False)
+    out = builder.add(f"{name}_add", y, shortcut)
+    return builder.layer(f"{name}_out_relu", OpKind.RELU, nn.ReLU(), out)
+
+
+def _build_resnet(name: str, blocks_per_stage: list[int], num_classes: int,
+                  in_channels: int, base_width: int, seed: int) -> GraphIR:
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(name)
+    x = builder.input("input")
+    x = _conv_bn(builder, x, "stem", in_channels, base_width, rng)
+    channels = base_width
+    for stage, num_blocks in enumerate(blocks_per_stage, start=1):
+        out_channels = base_width * (2 ** (stage - 1))
+        for block in range(num_blocks):
+            stride = 2 if (block == 0 and stage > 1) else 1
+            x = _residual_block(builder, x, f"stage{stage}_block{block + 1}",
+                                channels, out_channels, rng, stride=stride)
+            channels = out_channels
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(channels, num_classes, rng=rng), x)
+    return builder.build(x)
+
+
+def resnet_nano(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                seed: int = 0) -> GraphIR:
+    """ResNet v1-50 analogue: two stages of two residual blocks."""
+    return _build_resnet("resnet_nano", [2, 2], num_classes, in_channels, base_width, seed)
+
+
+def resnet_nano_deep(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                     seed: int = 0) -> GraphIR:
+    """ResNet v1-101/152 analogue: three stages of residual blocks."""
+    return _build_resnet("resnet_nano_deep", [2, 2, 2], num_classes, in_channels,
+                         base_width, seed)

@@ -1,0 +1,59 @@
+"""Scaled-down VGG-style networks (plain conv/BN/ReLU stacks with max pools).
+
+VGG-16/19 are the "easy to quantize" end of the paper's network suite
+(Table 3): no depthwise convolutions, well-behaved weight ranges, so static
+INT8 already comes close to FP32 and wt-only retraining closes the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import GraphBuilder, GraphIR, OpKind
+
+__all__ = ["vgg_nano", "vgg_nano_deep"]
+
+
+def _vgg_stack(builder: GraphBuilder, x: str, prefix: str, in_channels: int,
+               out_channels: int, convs: int, rng: np.random.Generator) -> tuple[str, int]:
+    for i in range(convs):
+        channels_in = in_channels if i == 0 else out_channels
+        x = builder.layer(f"{prefix}_conv{i + 1}", OpKind.CONV,
+                          nn.Conv2d(channels_in, out_channels, 3, padding=1, rng=rng), x)
+        x = builder.layer(f"{prefix}_bn{i + 1}", OpKind.BATCHNORM,
+                          nn.BatchNorm2d(out_channels), x)
+        x = builder.layer(f"{prefix}_relu{i + 1}", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer(f"{prefix}_pool", OpKind.MAXPOOL, nn.MaxPool2d(2), x)
+    return x, out_channels
+
+
+def _build_vgg(name: str, stage_convs: list[int], num_classes: int, in_channels: int,
+               base_width: int, seed: int) -> GraphIR:
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(name)
+    x = builder.input("input")
+    channels = in_channels
+    width = base_width
+    for stage, convs in enumerate(stage_convs, start=1):
+        x, channels = _vgg_stack(builder, x, f"stage{stage}", channels, width, convs, rng)
+        width = min(width * 2, base_width * 4)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("flatten", OpKind.FLATTEN, nn.Flatten(), x)
+    x = builder.layer("fc1", OpKind.LINEAR, nn.Linear(channels, channels, rng=rng), x)
+    x = builder.layer("fc1_relu", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer("dropout", OpKind.DROPOUT, nn.Identity(), x)
+    x = builder.layer("fc2", OpKind.LINEAR, nn.Linear(channels, num_classes, rng=rng), x)
+    return builder.build(x)
+
+
+def vgg_nano(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+             seed: int = 0) -> GraphIR:
+    """VGG-16 analogue: three stages of two convolutions each."""
+    return _build_vgg("vgg_nano", [2, 2, 2], num_classes, in_channels, base_width, seed)
+
+
+def vgg_nano_deep(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                  seed: int = 0) -> GraphIR:
+    """VGG-19 analogue: three stages with three convolutions each."""
+    return _build_vgg("vgg_nano_deep", [2, 3, 3], num_classes, in_channels, base_width, seed)

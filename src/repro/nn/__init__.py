@@ -1,0 +1,36 @@
+"""Neural-network layers built on the repro autograd substrate."""
+
+from .module import Module, Parameter
+from .conv_layers import Conv2d, DepthwiseConv2d, Linear
+from .norm import BatchNorm2d
+from .activations import ReLU, ReLU6, LeakyReLU, Sigmoid, Identity
+from .pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d, Flatten
+from .containers import Sequential, ModuleList, Add, Concat
+from .losses import CrossEntropyLoss, MSELoss, l2_regularization
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "Identity",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "ModuleList",
+    "Add",
+    "Concat",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "l2_regularization",
+    "init",
+]

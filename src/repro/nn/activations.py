@@ -1,0 +1,48 @@
+"""Activation-function modules."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor, leaky_relu, relu, relu6, sigmoid
+from .module import Module
+
+__all__ = ["ReLU", "ReLU6", "LeakyReLU", "Sigmoid", "Identity"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class ReLU6(Module):
+    """Clipped ReLU used by MobileNets; its implicit upper bound of 6 interacts
+    with activation threshold training (an unsigned quantizer is used after it)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu6(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU as used by DarkNet-19; Section 4.3 gives it a dedicated
+    quantization topology with a quantized slope multiplier."""
+
+    def __init__(self, negative_slope: float = 0.1) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return sigmoid(x)
+
+
+class Identity(Module):
+    """No-op module; the identity-splicing graph transform removes these."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,92 @@
+"""Container modules and the structural ops the quantizer cares about.
+
+``Add`` and ``Concat`` are explicit modules (rather than inline arithmetic)
+because the Graffitist-style quantization pass needs to recognise them to
+apply the Section 4.3 rules: eltwise-add inputs share a merged scale, and
+concat is lossless once its inputs share one scale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from ..autograd import Tensor, concatenate
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList", "Add", "Concat"]
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def append(self, module: Module) -> "Sequential":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """A list of modules that registers its children for traversal."""
+
+    def __init__(self, modules: Sequence[Module] = ()) -> None:
+        super().__init__()
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers only hold modules
+        raise RuntimeError("ModuleList is not callable; iterate over its children")
+
+
+class Add(Module):
+    """Elementwise addition of two branches (residual connections)."""
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        return a + b
+
+
+class Concat(Module):
+    """Channel concatenation of branches (inception blocks)."""
+
+    def __init__(self, axis: int = 1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, tensors: Sequence[Tensor]) -> Tensor:
+        return concatenate(list(tensors), axis=self.axis)
+
+    def extra_repr(self) -> str:
+        return f"axis={self.axis}"

@@ -1,0 +1,89 @@
+"""Convolutional and fully connected layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, conv2d, matmul
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Conv2d", "DepthwiseConv2d", "Linear"]
+
+
+class Conv2d(Module):
+    """2-D convolution layer (NCHW).
+
+    Parameters
+    ----------
+    in_channels, out_channels: channel counts.
+    kernel_size, stride, padding: spatial hyperparameters (int or pair).
+    groups: convolution groups; ``groups == in_channels`` makes this a
+        depthwise convolution (see :class:`DepthwiseConv2d`).
+    bias: whether to add a per-output-channel bias.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size, stride=1,
+                 padding=0, groups: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kh * kw
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels // groups, kh, kw), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride,
+                      padding=self.padding, groups=self.groups)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+                f"stride={self.stride}, padding={self.padding}, groups={self.groups}")
+
+
+class DepthwiseConv2d(Conv2d):
+    """Depthwise convolution: one filter per input channel.
+
+    These layers are the focus of the paper's MobileNet discussion
+    (Section 6.2): their weights have widely varying per-channel ranges,
+    which is exactly what makes per-tensor post-training quantization fail
+    and what TQT threshold training fixes.
+    """
+
+    def __init__(self, channels: int, kernel_size, stride=1, padding=0, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(channels, channels, kernel_size, stride=stride, padding=padding,
+                         groups=channels, bias=bias, rng=rng)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), in_features, out_features, rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = matmul(x, self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}"

@@ -1,0 +1,38 @@
+"""Weight initialization schemes for the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "xavier_uniform", "zeros", "ones", "truncated_normal"]
+
+
+def kaiming_normal(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialization suited for ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def truncated_normal(shape: tuple[int, ...], std: float, rng: np.random.Generator) -> np.ndarray:
+    """Normal samples re-drawn until they fall within two standard deviations."""
+    samples = rng.normal(0.0, std, size=shape)
+    out_of_range = np.abs(samples) > 2 * std
+    while out_of_range.any():
+        samples[out_of_range] = rng.normal(0.0, std, size=int(out_of_range.sum()))
+        out_of_range = np.abs(samples) > 2 * std
+    return samples
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,37 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, mse_loss
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "l2_regularization"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer labels (the paper's training loss)."""
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return cross_entropy(logits, labels)
+
+
+class MSELoss(Module):
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return mse_loss(prediction, target)
+
+
+def l2_regularization(parameters, weight_decay: float) -> Tensor:
+    """Sum of squared parameter norms scaled by ``weight_decay``.
+
+    The paper adds weight regularization (when present in the original model)
+    to the weight gradient path only; the trainer applies this selectively.
+    """
+    total = None
+    for param in parameters:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * weight_decay

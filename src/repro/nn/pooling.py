@@ -1,0 +1,58 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor, avg_pool2d, global_avg_pool2d, max_pool2d
+from .module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten"]
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size=2, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2d(Module):
+    """Average pooling.  The Graffitist flow rewrites these into depthwise
+    convolutions with reciprocal weights so they can be quantized like any
+    other compute layer (Section 4.1)."""
+
+    def __init__(self, kernel_size=2, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class GlobalAvgPool2d(Module):
+    def __init__(self, keepdims: bool = False) -> None:
+        super().__init__()
+        self.keepdims = keepdims
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x, keepdims=self.keepdims)
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=self.start_dim)

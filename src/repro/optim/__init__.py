@@ -1,0 +1,27 @@
+"""Optimizers and learning-rate schedules."""
+
+from .optimizer import Optimizer, ParamGroup
+from .sgd import SGD, NormedSGD
+from .adam import Adam
+from .rmsprop import RMSProp
+from .schedules import (
+    ConstantSchedule,
+    ExponentialDecay,
+    StepDecay,
+    paper_weight_schedule,
+    paper_threshold_schedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "ParamGroup",
+    "SGD",
+    "NormedSGD",
+    "Adam",
+    "RMSProp",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "StepDecay",
+    "paper_weight_schedule",
+    "paper_threshold_schedule",
+]

@@ -1,0 +1,41 @@
+"""Adam optimizer.
+
+Adam is the paper's recommended optimizer for log-threshold training: its
+built-in gradient norming provides the scale invariance analysed in
+Appendix B.2, and Appendix C / Table 4 derive the learning-rate and
+``beta`` guidelines (``alpha <= 0.1 / sqrt(p)``, ``beta1 >= 1/e``,
+``beta2 >= 1 - 0.1/p`` with ``p = 2^(b-1) - 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer, ParamGroup
+from ..nn import Parameter
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    def __init__(self, params, lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, weight_decay: float = 0.0, **kwargs) -> None:
+        super().__init__(params, lr, beta1=beta1, beta2=beta2, eps=eps,
+                         weight_decay=weight_decay, **kwargs)
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float, group: ParamGroup) -> None:
+        hp = {**self.defaults, **group.hyperparams}
+        beta1, beta2 = hp.get("beta1", 0.9), hp.get("beta2", 0.999)
+        eps, weight_decay = hp.get("eps", 1e-8), hp.get("weight_decay", 0.0)
+        if weight_decay:
+            grad = grad + weight_decay * param.data
+        state = self.param_state(param)
+        m = state.get("m", np.zeros_like(param.data))
+        v = state.get("v", np.zeros_like(param.data))
+        t = state.get("t", 0) + 1
+        m = beta1 * m + (1.0 - beta1) * grad
+        v = beta2 * v + (1.0 - beta2) * grad ** 2
+        state["m"], state["v"], state["t"] = m, v, t
+        m_hat = m / (1.0 - beta1 ** t)
+        v_hat = v / (1.0 - beta2 ** t)
+        param.data -= lr * m_hat / (np.sqrt(v_hat) + eps)

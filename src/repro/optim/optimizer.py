@@ -1,0 +1,77 @@
+"""Optimizer base class with parameter groups and LR schedules.
+
+The TQT training recipe (Section 5.2) uses *different* hyperparameters for
+weights and thresholds — learning rates of 1e-6 vs 1e-2 and different decay
+schedules — so parameter groups are first-class here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn import Parameter
+
+__all__ = ["Optimizer", "ParamGroup"]
+
+
+class ParamGroup:
+    """A set of parameters sharing hyperparameters and an LR schedule."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float, schedule=None,
+                 name: str = "default", **hyperparams) -> None:
+        self.params: list[Parameter] = list(params)
+        self.base_lr = float(lr)
+        self.schedule = schedule
+        self.name = name
+        self.hyperparams = dict(hyperparams)
+
+    def learning_rate(self, step: int) -> float:
+        if self.schedule is None:
+            return self.base_lr
+        return self.schedule(self.base_lr, step)
+
+
+class Optimizer:
+    """Base optimizer over one or more parameter groups."""
+
+    def __init__(self, params_or_groups, lr: float, **defaults) -> None:
+        if isinstance(params_or_groups, ParamGroup):
+            groups = [params_or_groups]
+        elif params_or_groups and isinstance(params_or_groups, (list, tuple)) and \
+                isinstance(params_or_groups[0], ParamGroup):
+            groups = list(params_or_groups)
+        else:
+            groups = [ParamGroup(list(params_or_groups), lr, **defaults)]
+        self.groups: list[ParamGroup] = groups
+        self.defaults = defaults
+        self.step_count = 0
+        # Per-parameter optimizer state keyed by id().
+        self.state: dict[int, dict[str, np.ndarray | float]] = {}
+
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        for group in self.groups:
+            for param in group.params:
+                param.zero_grad()
+
+    def parameters(self) -> Iterable[Parameter]:
+        for group in self.groups:
+            yield from group.params
+
+    def param_state(self, param: Parameter) -> dict:
+        return self.state.setdefault(id(param), {})
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        self.step_count += 1
+        for group in self.groups:
+            lr = group.learning_rate(self.step_count)
+            for param in group.params:
+                if param.grad is None or not param.requires_grad:
+                    continue
+                self._update(param, np.asarray(param.grad), lr, group)
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float, group: ParamGroup) -> None:
+        raise NotImplementedError

@@ -1,0 +1,28 @@
+"""RMSProp optimizer (mentioned in Appendix B.2 as an Adam alternative)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer, ParamGroup
+from ..nn import Parameter
+
+__all__ = ["RMSProp"]
+
+
+class RMSProp(Optimizer):
+    def __init__(self, params, lr: float = 1e-3, rho: float = 0.9, eps: float = 1e-8,
+                 weight_decay: float = 0.0, **kwargs) -> None:
+        super().__init__(params, lr, rho=rho, eps=eps, weight_decay=weight_decay, **kwargs)
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float, group: ParamGroup) -> None:
+        hp = {**self.defaults, **group.hyperparams}
+        rho, eps = hp.get("rho", 0.9), hp.get("eps", 1e-8)
+        weight_decay = hp.get("weight_decay", 0.0)
+        if weight_decay:
+            grad = grad + weight_decay * param.data
+        state = self.param_state(param)
+        avg = state.get("avg", np.zeros_like(param.data))
+        avg = rho * avg + (1.0 - rho) * grad ** 2
+        state["avg"] = avg
+        param.data -= lr * grad / (np.sqrt(avg) + eps)

@@ -1,0 +1,75 @@
+"""Learning-rate schedules.
+
+The paper decays learning rates "exponentially (with staircase enabled) by a
+factor of 0.94 every 3000·(24/N) steps for weights and by a factor of 0.5
+every 1000·(24/N) steps for thresholds" (Section 5.2).  The schedules here
+are callables ``schedule(base_lr, step) -> lr`` compatible with
+:class:`repro.optim.optimizer.ParamGroup`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "StepDecay",
+    "paper_weight_schedule",
+    "paper_threshold_schedule",
+]
+
+
+class ConstantSchedule:
+    """Always return the base learning rate."""
+
+    def __call__(self, base_lr: float, step: int) -> float:
+        return base_lr
+
+
+class ExponentialDecay:
+    """``lr = base_lr * decay_rate ** (step / decay_steps)``.
+
+    With ``staircase=True`` the exponent is floored, matching TensorFlow's
+    ``tf.train.exponential_decay`` used in the paper's training recipe.
+    """
+
+    def __init__(self, decay_rate: float, decay_steps: int, staircase: bool = True) -> None:
+        if decay_steps <= 0:
+            raise ValueError("decay_steps must be positive")
+        self.decay_rate = float(decay_rate)
+        self.decay_steps = int(decay_steps)
+        self.staircase = staircase
+
+    def __call__(self, base_lr: float, step: int) -> float:
+        exponent = step / self.decay_steps
+        if self.staircase:
+            exponent = math.floor(exponent)
+        return base_lr * (self.decay_rate ** exponent)
+
+
+class StepDecay:
+    """Piecewise-constant decay at explicit step boundaries."""
+
+    def __init__(self, boundaries: list[int], factors: list[float]) -> None:
+        if len(boundaries) != len(factors):
+            raise ValueError("boundaries and factors must have equal length")
+        self.boundaries = list(boundaries)
+        self.factors = list(factors)
+
+    def __call__(self, base_lr: float, step: int) -> float:
+        lr = base_lr
+        for boundary, factor in zip(self.boundaries, self.factors):
+            if step >= boundary:
+                lr = base_lr * factor
+        return lr
+
+
+def paper_weight_schedule(batch_size: int = 24) -> ExponentialDecay:
+    """Weight LR decay from Section 5.2: x0.94 every 3000·(24/N) steps."""
+    return ExponentialDecay(decay_rate=0.94, decay_steps=max(1, round(3000 * 24 / batch_size)))
+
+
+def paper_threshold_schedule(batch_size: int = 24) -> ExponentialDecay:
+    """Threshold LR decay from Section 5.2: x0.5 every 1000·(24/N) steps."""
+    return ExponentialDecay(decay_rate=0.5, decay_steps=max(1, round(1000 * 24 / batch_size)))

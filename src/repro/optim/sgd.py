@@ -1,0 +1,69 @@
+"""SGD variants, including the normed-gradient SGD of Appendix B.2.
+
+``NormedSGD`` implements equations (17)/(18) of the paper: each gradient is
+divided by the square root of a bias-corrected moving average of its squared
+magnitude and optionally passed through ``tanh`` to clip it, restoring the
+threshold- and input-scale invariance that plain log-threshold gradients
+lack.  This is the "Norm Log Grad - SGD" curve of Figure 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer, ParamGroup
+from ..nn import Parameter
+
+__all__ = ["SGD", "NormedSGD"]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0, **kwargs) -> None:
+        super().__init__(params, lr, momentum=momentum, weight_decay=weight_decay, **kwargs)
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float, group: ParamGroup) -> None:
+        momentum = group.hyperparams.get("momentum", self.defaults.get("momentum", 0.0))
+        weight_decay = group.hyperparams.get("weight_decay", self.defaults.get("weight_decay", 0.0))
+        if weight_decay:
+            grad = grad + weight_decay * param.data
+        if momentum:
+            state = self.param_state(param)
+            velocity = state.get("velocity")
+            velocity = grad if velocity is None else momentum * velocity + grad
+            state["velocity"] = velocity
+            grad = velocity
+        param.data -= lr * grad
+
+
+class NormedSGD(Optimizer):
+    """SGD over gradients normalized by a bias-corrected moving RMS (Eq. 17–18).
+
+    Parameters
+    ----------
+    beta: decay of the moving variance estimate ``v_i``.
+    clip: if True, wrap the normalized gradient in ``tanh`` (Eq. 18) so single
+        updates are bounded by the learning rate.
+    eps: numerical floor added inside the square root.
+    """
+
+    def __init__(self, params, lr: float = 0.01, beta: float = 0.999,
+                 clip: bool = True, eps: float = 1e-12, **kwargs) -> None:
+        super().__init__(params, lr, beta=beta, clip=clip, eps=eps, **kwargs)
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float, group: ParamGroup) -> None:
+        beta = group.hyperparams.get("beta", self.defaults.get("beta", 0.999))
+        clip = group.hyperparams.get("clip", self.defaults.get("clip", True))
+        eps = group.hyperparams.get("eps", self.defaults.get("eps", 1e-12))
+        state = self.param_state(param)
+        variance = state.get("variance", np.zeros_like(param.data))
+        count = state.get("count", 0) + 1
+        variance = beta * variance + (1.0 - beta) * grad ** 2
+        state["variance"], state["count"] = variance, count
+        corrected = variance / (1.0 - beta ** count)
+        normed = grad / (np.sqrt(corrected) + eps)
+        if clip:
+            normed = np.tanh(normed)
+        param.data -= lr * normed

@@ -1,0 +1,161 @@
+"""Threshold initialization / calibration schemes (Table 2 of the paper).
+
+* ``max`` — maximum absolute value; used for weights in static mode and in
+  wt-only retraining.
+* ``n-std`` — ``n`` standard deviations of the distribution (the paper's
+  "3SD" weight initialization for TQT retraining).
+* ``percentile`` — the given percentile of the absolute values (the paper
+  mentions percentile initialization as an alternative to 3SD).
+* ``kl-j`` — the threshold minimizing the symmetric Kullback–Leibler-J
+  distance between the clipped reference distribution and its quantized
+  approximation (D'Alberto & Dasdan, 2009); used for activations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .histogram import TensorHistogram
+
+__all__ = [
+    "max_calibration",
+    "std_calibration",
+    "percentile_calibration",
+    "kl_j_calibration",
+    "kl_j_distance",
+    "calibrate",
+    "CALIBRATION_METHODS",
+]
+
+
+def max_calibration(values: np.ndarray) -> float:
+    """Threshold = max |x| (never clips anything)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 1e-8
+    return float(np.abs(values).max()) or 1e-8
+
+
+def std_calibration(values: np.ndarray, num_std: float = 3.0) -> float:
+    """Threshold = ``num_std`` standard deviations (centred at zero).
+
+    Weight distributions are roughly zero-mean, so ``3 * std`` trims the long
+    tails that would otherwise waste integer range (Table 2, "3SD").
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 1e-8
+    spread = float(np.sqrt(np.mean(values ** 2)))
+    return max(num_std * spread, 1e-8)
+
+
+def percentile_calibration(values: np.ndarray, percentile: float = 99.9) -> float:
+    """Threshold = the requested percentile of |x|."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 1e-8
+    return max(float(np.percentile(np.abs(values), percentile)), 1e-8)
+
+
+def _quantized_reference(reference: np.ndarray, levels: int) -> np.ndarray:
+    """Model the effect of quantizing a clipped histogram to ``levels`` bins.
+
+    The reference histogram is collapsed into ``levels`` coarse bins and then
+    expanded back, preserving the empty/occupied structure of the original
+    bins, which is the standard construction used for KL-based calibration.
+    """
+    num_bins = reference.size
+    if levels >= num_bins:
+        return reference.copy()
+    # Coarse bin index of every fine bin (nearly equal-sized chunks).
+    chunk_ids = (np.arange(num_bins) * levels) // num_bins
+    occupied = reference > 0
+    mass_per_chunk = np.bincount(chunk_ids, weights=reference, minlength=levels)
+    occupied_per_chunk = np.bincount(chunk_ids, weights=occupied.astype(np.float64),
+                                     minlength=levels)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fill = np.where(occupied_per_chunk > 0, mass_per_chunk / occupied_per_chunk, 0.0)
+    expanded = np.where(occupied, fill[chunk_ids], 0.0)
+    return expanded
+
+
+def kl_j_distance(p: np.ndarray, q: np.ndarray, epsilon: float = 1e-12) -> float:
+    """Symmetric KL-J divergence ``KL(P||Q) + KL(Q||P)`` between histograms."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    p_sum, q_sum = p.sum(), q.sum()
+    if p_sum <= 0 or q_sum <= 0:
+        return float("inf")
+    p = p / p_sum + epsilon
+    q = q / q_sum + epsilon
+    return float(np.sum(p * np.log(p / q)) + np.sum(q * np.log(q / p)))
+
+
+def kl_j_calibration(values: np.ndarray | TensorHistogram, bits: int = 8,
+                     num_bins: int = 1024, min_bin_start: int | None = None,
+                     num_candidates: int = 128) -> float:
+    """Activation threshold minimizing the symmetric KL-J distance.
+
+    Parameters
+    ----------
+    values: raw activation samples or a pre-accumulated :class:`TensorHistogram`.
+    bits: target activation bit-width (the quantized histogram has
+        ``2^(bits-1)`` coarse bins, matching the unsigned/symmetric grid).
+    num_bins: resolution of the reference histogram.
+    min_bin_start: smallest candidate clipping bin; defaults to the number of
+        quantization levels so the search never collapses the whole range.
+    num_candidates: number of candidate clipping bins evaluated between
+        ``min_bin_start`` and the histogram maximum (evenly spaced).
+    """
+    if isinstance(values, TensorHistogram):
+        histogram = values
+    else:
+        histogram = TensorHistogram(num_bins=num_bins)
+        histogram.update(np.asarray(values))
+    counts = histogram.counts
+    num_bins = histogram.num_bins
+    if histogram.max_value == 0.0 or counts.sum() == 0:
+        return 1e-8
+
+    levels = 2 ** (bits - 1)
+    start = min_bin_start if min_bin_start is not None else max(levels, num_bins // 16)
+    start = int(np.clip(start, 1, num_bins - 1))
+    edges = histogram.bin_edges()
+    candidates = np.unique(np.linspace(start, num_bins, num=min(num_candidates,
+                                                                num_bins - start + 1),
+                                       dtype=np.int64))
+
+    best_distance = np.inf
+    best_threshold = histogram.max_value
+    for i in candidates:
+        reference = counts[:i].copy()
+        outlier_mass = counts[i:].sum()
+        reference[-1] += outlier_mass
+        candidate_q = _quantized_reference(counts[:i], levels)
+        distance = kl_j_distance(reference, candidate_q)
+        if distance < best_distance:
+            best_distance = distance
+            best_threshold = edges[i]
+    return max(float(best_threshold), 1e-8)
+
+
+CALIBRATION_METHODS: dict[str, Callable[..., float]] = {
+    "max": max_calibration,
+    "3sd": lambda values: std_calibration(values, num_std=3.0),
+    "std": std_calibration,
+    "percentile": percentile_calibration,
+    "kl-j": kl_j_calibration,
+}
+
+
+def calibrate(values: np.ndarray, method: str, **kwargs) -> float:
+    """Dispatch to a calibration method by name (``max``, ``3sd``, ``std``,
+    ``percentile``, ``kl-j``)."""
+    try:
+        fn = CALIBRATION_METHODS[method.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown calibration method {method!r}; "
+                         f"available: {sorted(CALIBRATION_METHODS)}") from exc
+    return fn(values, **kwargs)

@@ -1,0 +1,95 @@
+"""Quantization configuration objects.
+
+``QuantConfig`` captures the quantizer design axes that Section 3.1 of the
+paper discusses: bit-width, signedness, symmetric vs affine (zero-point),
+per-tensor vs per-channel granularity, and power-of-2 vs real-valued scale
+factors.  The TQT scheme uses the strictest combination (symmetric,
+per-tensor, power-of-2); looser combinations are retained so the baselines
+in Table 1 (Google QAT-style per-channel / asymmetric quantization) can be
+expressed in the same framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["QuantConfig", "LayerPrecision", "INT8_PRECISION", "INT4_PRECISION"]
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Static description of a single quantizer.
+
+    Attributes
+    ----------
+    bits: quantized bit-width ``b``.
+    signed: signed two's-complement range ``[-2^(b-1), 2^(b-1)-1]`` when True,
+        unsigned ``[0, 2^b - 1]`` when False (used after ReLU/ReLU6).
+    symmetric: zero-point-free mapping ``r = s * q`` (Eq. 3). ``False`` gives
+        the affine mapping of Eq. 2 used by the QAT baseline.
+    power_of_2: constrain ``s = 2^-f`` so re-scaling is a bit shift.
+    per_channel: per-output-channel scale factors (baseline only; TQT uses
+        per-tensor).
+    """
+
+    bits: int = 8
+    signed: bool = True
+    symmetric: bool = True
+    power_of_2: bool = True
+    per_channel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits < 2 or self.bits > 32:
+            raise ValueError(f"unsupported bit-width {self.bits}")
+        if not self.symmetric and self.power_of_2:
+            raise ValueError("asymmetric quantization with power-of-2 scaling is not supported")
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1)) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1 if self.signed else 2 ** self.bits - 1
+
+    @property
+    def levels(self) -> int:
+        """Denominator used to map the clipping threshold to the integer grid.
+
+        The paper maps ``2^ceil(log2 t)`` to ``2^(b-1)`` for signed data and
+        ``2^b`` for unsigned data (Section 3.2).
+        """
+        return 2 ** (self.bits - 1) if self.signed else 2 ** self.bits
+
+    def with_bits(self, bits: int) -> "QuantConfig":
+        return replace(self, bits=bits)
+
+    def as_unsigned(self) -> "QuantConfig":
+        return replace(self, signed=False)
+
+    def as_signed(self) -> "QuantConfig":
+        return replace(self, signed=True)
+
+
+@dataclass(frozen=True)
+class LayerPrecision:
+    """Bit-width assignment for one compute layer (Section 4.3).
+
+    The paper's two published operating points are INT8 = 8/8 (W/A) and
+    INT4 = 4/8 (W/A); the internal accumulator / bias precision is 16 bits
+    and the first/last layers never go below 8-bit weights.
+    """
+
+    weight_bits: int = 8
+    activation_bits: int = 8
+    bias_bits: int = 16
+    internal_bits: int = 16
+    min_first_last_weight_bits: int = 8
+
+    @property
+    def name(self) -> str:
+        return f"W{self.weight_bits}A{self.activation_bits}"
+
+
+INT8_PRECISION = LayerPrecision(weight_bits=8, activation_bits=8)
+INT4_PRECISION = LayerPrecision(weight_bits=4, activation_bits=8)

@@ -1,0 +1,188 @@
+"""Bit-accurate fixed-point (integer) inference kernels.
+
+The paper validates that its quantized *inference graphs* run on CPU are
+bit-accurate to the FPGA fixed-point implementation (Section 4.2).  This
+module provides the integer-arithmetic reference the fake-quantized graphs
+are checked against:
+
+* integer matmul / conv with int64 accumulation;
+* re-scaling of the accumulator either by a **bit shift** (power-of-2 scale
+  factors, Eq. 16) or by a **normalized fixed-point multiplier** (real scale
+  factors, Eq. 15), both with round-half-to-even;
+* the affine (zero-point) product expansion of Appendix A.1, used to count
+  the extra work real-valued/asymmetric quantization incurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd.conv import conv_output_size, im2col
+from ..autograd.functional import round_half_to_even
+from .config import QuantConfig
+
+__all__ = [
+    "quantize_to_int",
+    "dequantize",
+    "shift_requantize",
+    "fixed_point_multiplier",
+    "multiplier_requantize",
+    "integer_matmul",
+    "integer_conv2d",
+    "affine_matmul_with_zero_points",
+    "AffineCost",
+    "count_affine_cost",
+]
+
+
+def quantize_to_int(values: np.ndarray, scale: float | np.ndarray,
+                    config: QuantConfig) -> np.ndarray:
+    """Map real values to integer codes ``q = clip(round(x / s))``."""
+    codes = round_half_to_even(np.asarray(values, dtype=np.float64) / scale)
+    return np.clip(codes, config.qmin, config.qmax).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, scale: float | np.ndarray) -> np.ndarray:
+    """Map integer codes back to the real domain ``r = s * q``."""
+    return np.asarray(codes, dtype=np.float64) * scale
+
+
+def shift_requantize(accumulator: np.ndarray, shift: int,
+                     config: QuantConfig) -> np.ndarray:
+    """Re-scale an integer accumulator by ``2^-shift`` with round-half-to-even.
+
+    This is the power-of-2 path (Eq. 16): the whole scale adjustment is a
+    single arithmetic shift.
+    Negative ``shift`` means a left shift (scale up).
+    """
+    accumulator = np.asarray(accumulator, dtype=np.int64)
+    if shift == 0:
+        scaled = accumulator.astype(np.float64)
+    elif shift > 0:
+        scaled = accumulator.astype(np.float64) / (1 << shift)
+    else:
+        scaled = accumulator.astype(np.float64) * (1 << (-shift))
+    return np.clip(round_half_to_even(scaled), config.qmin, config.qmax).astype(np.int64)
+
+
+def fixed_point_multiplier(real_multiplier: float, bits: int = 31) -> tuple[int, int]:
+    """Decompose a real multiplier in (0, 1) as ``m0 * 2^-n`` (Eq. 15).
+
+    Returns ``(m0, n)`` where ``m0`` is an integer multiplier with ``bits``
+    bits of precision normalized into [0.5, 1), the gemmlowp construction.
+    """
+    if real_multiplier <= 0:
+        raise ValueError("real multiplier must be positive")
+    n = 0
+    m = float(real_multiplier)
+    while m < 0.5:
+        m *= 2.0
+        n += 1
+    while m >= 1.0:
+        m /= 2.0
+        n -= 1
+    m0 = int(round(m * (1 << bits)))
+    return m0, n + bits
+
+
+def multiplier_requantize(accumulator: np.ndarray, real_multiplier: float,
+                          config: QuantConfig, bits: int = 31) -> np.ndarray:
+    """Re-scale an integer accumulator by an arbitrary real multiplier using a
+    normalized fixed-point multiply followed by a rounding right shift."""
+    m0, shift = fixed_point_multiplier(real_multiplier, bits=bits)
+    accumulator = np.asarray(accumulator, dtype=np.int64)
+    product = accumulator.astype(np.float64) * m0
+    scaled = product / (2.0 ** shift)
+    return np.clip(round_half_to_even(scaled), config.qmin, config.qmax).astype(np.int64)
+
+
+def integer_matmul(a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+    """Integer matrix product with int64 accumulation."""
+    return np.asarray(a_codes, dtype=np.int64) @ np.asarray(b_codes, dtype=np.int64)
+
+
+def integer_conv2d(x_codes: np.ndarray, w_codes: np.ndarray, bias_codes: np.ndarray | None = None,
+                   stride=1, padding=0, groups: int = 1) -> np.ndarray:
+    """Integer convolution with int64 accumulation (NCHW layout).
+
+    ``bias_codes`` must already be expressed at the accumulator scale
+    (``s_in * s_w``), which the inference-graph exporter guarantees by the
+    scale-merging rules of Section 4.3.
+    """
+    x_codes = np.asarray(x_codes, dtype=np.int64)
+    w_codes = np.asarray(w_codes, dtype=np.int64)
+    stride = (stride, stride) if isinstance(stride, int) else tuple(stride)
+    padding = (padding, padding) if isinstance(padding, int) else tuple(padding)
+    n, c_in, h, w = x_codes.shape
+    c_out, c_in_per_group, kh, kw = w_codes.shape
+    oh = conv_output_size(h, kh, stride[0], padding[0])
+    ow = conv_output_size(w, kw, stride[1], padding[1])
+
+    cols = im2col(x_codes.astype(np.float64), (kh, kw), stride, padding).astype(np.int64)
+    cols_grouped = cols.reshape(n, groups, c_in_per_group, kh, kw, oh, ow)
+    cols_mat = cols_grouped.transpose(1, 0, 5, 6, 2, 3, 4).reshape(
+        groups, n * oh * ow, c_in_per_group * kh * kw
+    )
+    w_mat = w_codes.reshape(groups, c_out // groups, c_in_per_group * kh * kw)
+    out_mat = np.einsum("gnk,gok->gno", cols_mat, w_mat, optimize=True)
+    out = out_mat.reshape(groups, n, oh, ow, c_out // groups)
+    out = out.transpose(1, 0, 4, 2, 3).reshape(n, c_out, oh, ow)
+    if bias_codes is not None:
+        out = out + np.asarray(bias_codes, dtype=np.int64).reshape(1, c_out, 1, 1)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Appendix A: cost of the affine quantizer
+# ---------------------------------------------------------------------- #
+@dataclass
+class AffineCost:
+    """Operation counts for a quantized matrix product (Appendix A)."""
+
+    multiply_accumulates: int
+    zero_point_corrections: int
+    rescale_multiplies: int
+    rescale_shifts: int
+
+    @property
+    def total_extra_ops(self) -> int:
+        return self.zero_point_corrections + self.rescale_multiplies
+
+
+def affine_matmul_with_zero_points(q1: np.ndarray, q2: np.ndarray,
+                                   z1: int, z2: int) -> np.ndarray:
+    """Evaluate the bracketed expression of Eq. 13: ``q1q2 - q1 z2 - q2 z1 + z1 z2``.
+
+    The separate correction terms are computed explicitly so tests can verify
+    that eliminating zero-points (``z = 0``) removes the cross terms and
+    recovers the plain integer product of Eq. 14.
+    """
+    q1 = np.asarray(q1, dtype=np.int64)
+    q2 = np.asarray(q2, dtype=np.int64)
+    k = q1.shape[-1]
+    product = q1 @ q2
+    row_sums = q1.sum(axis=-1, keepdims=True)          # multiplies q1 by z2
+    col_sums = q2.sum(axis=0, keepdims=True)           # multiplies q2 by z1
+    return product - z2 * row_sums - z1 * col_sums + z1 * z2 * k
+
+
+def count_affine_cost(m: int, k: int, n: int, symmetric: bool, power_of_2: bool) -> AffineCost:
+    """Count the arithmetic a quantized (m,k)x(k,n) product needs.
+
+    The multiply-accumulate count is the same in every scheme; asymmetric
+    quantization adds the zero-point correction terms of Eq. 13 and real
+    scale factors add a fixed-point multiply per output (Eq. 15) instead of
+    the single shift of Eq. 16.
+    """
+    macs = m * k * n
+    corrections = 0 if symmetric else (m * n * 2 + m * n)  # two rank-1 corrections + constant
+    rescale_multiplies = 0 if power_of_2 else m * n
+    rescale_shifts = m * n
+    return AffineCost(
+        multiply_accumulates=macs,
+        zero_point_corrections=corrections,
+        rescale_multiplies=rescale_multiplies,
+        rescale_shifts=rescale_shifts,
+    )

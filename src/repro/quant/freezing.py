@@ -1,0 +1,125 @@
+"""Incremental threshold freezing (Section 5.2).
+
+With power-of-2 scaling, thresholds oscillate around a critical integer
+value ``log2 t*`` after convergence (Appendix B.3).  Crossing that integer
+changes the scale factor of the layer and therefore the distribution seen by
+every downstream layer, so the paper freezes thresholds incrementally once
+they settle: starting at ``1000 * (24 / N)`` steps, one threshold is frozen
+every 50 steps, in order of increasing absolute gradient magnitude, provided
+its exponentially-moving-average estimate agrees with its current integer
+bin ("correct side of log2 t*").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .tqt import TQTQuantizer
+
+__all__ = ["FreezingPolicy", "ThresholdFreezer"]
+
+
+@dataclass
+class FreezingPolicy:
+    """Hyperparameters of the freezing schedule."""
+
+    start_step: int = 1000
+    interval: int = 50
+    ema_decay: float = 0.9
+    enabled: bool = True
+
+    @classmethod
+    def from_batch_size(cls, batch_size: int, reference_batch: int = 24,
+                        **overrides) -> "FreezingPolicy":
+        """Scale the paper's step counts by ``reference_batch / batch_size``."""
+        start = max(1, round(1000 * reference_batch / max(batch_size, 1)))
+        return cls(start_step=start, **overrides)
+
+
+@dataclass
+class _QuantizerState:
+    quantizer: TQTQuantizer
+    name: str
+    ema: float = 0.0
+    initialized: bool = False
+    last_grad: float = 0.0
+
+
+class ThresholdFreezer:
+    """Tracks TQT quantizers during training and freezes them incrementally."""
+
+    def __init__(self, quantizers: dict[str, TQTQuantizer] | list[TQTQuantizer],
+                 policy: FreezingPolicy | None = None) -> None:
+        self.policy = policy or FreezingPolicy()
+        if isinstance(quantizers, dict):
+            items = quantizers.items()
+        else:
+            items = ((q.name or f"quantizer_{i}", q) for i, q in enumerate(quantizers))
+        self._states: list[_QuantizerState] = [
+            _QuantizerState(quantizer=q, name=name) for name, q in items
+            if q.trainable and q.log2_t.data.ndim == 0
+        ]
+        self.frozen_names: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_frozen(self) -> int:
+        return len(self.frozen_names)
+
+    @property
+    def num_tracked(self) -> int:
+        return len(self._states)
+
+    def all_frozen(self) -> bool:
+        return all(state.quantizer.frozen for state in self._states)
+
+    # ------------------------------------------------------------------ #
+    def observe(self) -> None:
+        """Record gradients and update the EMA of each tracked threshold.
+
+        Must be called after ``backward`` and before the optimizer clears the
+        gradients for the step.
+        """
+        decay = self.policy.ema_decay
+        for state in self._states:
+            value = float(state.quantizer.log2_t.data)
+            if not state.initialized:
+                state.ema = value
+                state.initialized = True
+            else:
+                state.ema = decay * state.ema + (1.0 - decay) * value
+            grad = state.quantizer.log2_t.grad
+            state.last_grad = float(np.abs(grad).sum()) if grad is not None else 0.0
+
+    def step(self, global_step: int) -> str | None:
+        """Possibly freeze one threshold at this step.
+
+        Returns the name of the quantizer that was frozen, if any.
+        """
+        if not self.policy.enabled or global_step < self.policy.start_step:
+            return None
+        if (global_step - self.policy.start_step) % self.policy.interval != 0:
+            return None
+        candidates = [
+            state for state in self._states
+            if not state.quantizer.frozen and state.initialized
+            and self._on_correct_side(state)
+        ]
+        if not candidates:
+            return None
+        # Freeze the threshold whose gradient magnitude is smallest: it has
+        # settled the most.
+        chosen = min(candidates, key=lambda s: s.last_grad)
+        chosen.quantizer.freeze()
+        self.frozen_names.append(chosen.name)
+        return chosen.name
+
+    @staticmethod
+    def _on_correct_side(state: _QuantizerState) -> bool:
+        """The current value and its EMA round up to the same integer bin,
+        i.e. the threshold is on the correct side of the critical ``log2 t*``."""
+        current_bin = np.ceil(float(state.quantizer.log2_t.data))
+        ema_bin = np.ceil(state.ema)
+        return current_bin == ema_bin

@@ -1,0 +1,102 @@
+"""Streaming histogram accumulation for activation calibration.
+
+Activation thresholds are calibrated from a small unlabeled calibration set
+(Section 5.1: a batch of 50 images sampled from the validation set).  The
+histogram collector accumulates absolute-value statistics over any number of
+calibration batches without keeping the activations themselves in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TensorHistogram"]
+
+
+class TensorHistogram:
+    """Fixed-bin histogram of absolute values with a growable range.
+
+    The histogram range expands to accommodate new maxima by rebinning the
+    existing counts (conservative: counts are redistributed proportionally
+    between overlapping bins), so the calibration result does not depend on
+    the order the batches are observed in.
+    """
+
+    def __init__(self, num_bins: int = 1024, include_zeros: bool = True) -> None:
+        if num_bins < 16:
+            raise ValueError("num_bins must be at least 16")
+        self.num_bins = int(num_bins)
+        self.include_zeros = include_zeros
+        self.counts = np.zeros(self.num_bins, dtype=np.float64)
+        self.max_value = 0.0
+        self.total = 0
+        self.observed_min = np.inf
+        self.observed_max = -np.inf
+
+    def update(self, values: np.ndarray) -> None:
+        """Accumulate one batch of values into the histogram.
+
+        With ``include_zeros=False`` exact zeros are dropped before binning:
+        ReLU activations place half their mass exactly at zero, which is
+        representable at any scale and would otherwise dominate (and distort)
+        KL-based threshold selection.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        self.observed_min = min(self.observed_min, float(values.min()))
+        self.observed_max = max(self.observed_max, float(values.max()))
+        if not self.include_zeros:
+            values = values[values != 0.0]
+            if values.size == 0:
+                return
+        magnitudes = np.abs(values)
+        batch_max = float(magnitudes.max())
+        if batch_max == 0.0:
+            self.total += values.size
+            self.counts[0] += values.size
+            return
+        if batch_max > self.max_value:
+            self._grow(batch_max)
+        bin_width = self.max_value / self.num_bins
+        indices = np.minimum((magnitudes / bin_width).astype(np.int64), self.num_bins - 1)
+        self.counts += np.bincount(indices, minlength=self.num_bins)
+        self.total += values.size
+
+    def _grow(self, new_max: float) -> None:
+        """Expand the histogram range to ``new_max`` by proportional rebinning."""
+        if self.max_value == 0.0:
+            self.max_value = new_max
+            return
+        old_edges = np.linspace(0.0, self.max_value, self.num_bins + 1)
+        new_edges = np.linspace(0.0, new_max, self.num_bins + 1)
+        new_counts = np.zeros_like(self.counts)
+        old_width = old_edges[1] - old_edges[0]
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            lo, hi = old_edges[i], old_edges[i + 1]
+            first = np.searchsorted(new_edges, lo, side="right") - 1
+            last = np.searchsorted(new_edges, hi, side="left") - 1
+            first = max(first, 0)
+            last = min(max(last, first), self.num_bins - 1)
+            if first == last:
+                new_counts[first] += count
+            else:
+                # Split proportionally to bin overlap.
+                for j in range(first, last + 1):
+                    seg_lo = max(lo, new_edges[j])
+                    seg_hi = min(hi, new_edges[j + 1])
+                    overlap = max(seg_hi - seg_lo, 0.0)
+                    new_counts[j] += count * overlap / old_width
+        self.counts = new_counts
+        self.max_value = new_max
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(0.0, self.max_value, self.num_bins + 1)
+
+    def density(self) -> np.ndarray:
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / total

@@ -1,0 +1,81 @@
+"""LSQ: Learned Step-size Quantization (Esser et al., 2019).
+
+LSQ learns the scale factor ``s`` directly (in the linear domain) instead of
+the log2 threshold.  The paper under reproduction argues (Section 2,
+Appendix B) that this parameterization has weaker stability guarantees —
+updates to ``s`` are not scale invariant, so LSQ needs a per-layer gradient
+rescaling heuristic and long fine-tuning schedules.  It is included here as
+a comparison point for the threshold-training-dynamics studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, as_tensor
+from ..nn import Module, Parameter
+from .config import QuantConfig
+
+__all__ = ["lsq_quantize", "LSQQuantizer"]
+
+
+def lsq_quantize(x: Tensor, scale: Tensor, config: QuantConfig,
+                 grad_scale: float = 1.0) -> Tensor:
+    """LSQ fake quantization with the step-size gradient of Esser et al.
+
+    The local gradient w.r.t. ``s`` is the same piecewise expression as
+    TQT's Eq. 6 (because the forward functions agree), but it is applied to
+    ``s`` directly and multiplied by LSQ's gradient-scale heuristic
+    ``1/sqrt(N * p)``.
+    """
+    x = as_tensor(x)
+    scale = as_tensor(scale)
+    n, p = config.qmin, config.qmax
+    s = float(np.maximum(scale.data, 1e-12))
+
+    scaled = x.data / s
+    rounded = np.rint(scaled)
+    clipped = np.clip(rounded, n, p)
+    out = clipped * s
+
+    below = rounded < n
+    above = rounded > p
+    inside = ~(below | above)
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        return g * inside
+
+    def grad_s(g: np.ndarray) -> np.ndarray:
+        per_element = np.where(inside, rounded - scaled, np.where(below, float(n), float(p)))
+        return np.asarray((g * per_element).sum() * grad_scale).reshape(scale.data.shape)
+
+    return Tensor._make(out, [(x, grad_x), (scale, grad_s)])
+
+
+class LSQQuantizer(Module):
+    """Quantizer that learns the step size ``s`` directly (LSQ baseline)."""
+
+    def __init__(self, config: QuantConfig, init_scale: float = 0.1,
+                 trainable: bool = True, use_grad_scale: bool = True,
+                 name: str | None = None) -> None:
+        super().__init__()
+        self.config = config
+        self.step_size = Parameter(np.asarray(float(init_scale)), requires_grad=trainable)
+        self.trainable = trainable
+        self.use_grad_scale = use_grad_scale
+        self.name = name
+
+    def initialize_from_tensor(self, values: np.ndarray) -> None:
+        """LSQ initialization: ``2 * mean(|x|) / sqrt(p)``."""
+        values = np.asarray(values)
+        p = self.config.qmax
+        self.step_size.data[...] = 2.0 * np.abs(values).mean() / np.sqrt(max(p, 1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        grad_scale = 1.0
+        if self.use_grad_scale:
+            grad_scale = 1.0 / np.sqrt(max(x.size * self.config.qmax, 1))
+        return lsq_quantize(x, self.step_size, self.config, grad_scale=grad_scale)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.config.bits}, grad_scale={self.use_grad_scale}"

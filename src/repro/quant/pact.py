@@ -1,0 +1,81 @@
+"""PACT: Parameterized Clipping Activation (Choi et al., 2018).
+
+Included as a second clipped-gradient baseline (Section 2 / Section 3.5).
+PACT replaces ReLU by ``clip(x, 0, alpha)`` with a learnable clipping level
+``alpha`` whose gradient is (Eq. 1 of the paper under reproduction)::
+
+    d y_q / d alpha = 0   for x < alpha
+                      1   for x >= alpha
+
+i.e. the threshold only ever feels pressure to grow toward the maximum of
+the input distribution; a manually tuned L2 regularizer on ``alpha`` is the
+only force pulling it back in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, as_tensor
+from ..nn import Module, Parameter
+from .config import QuantConfig
+
+__all__ = ["pact_quantize", "PACTQuantizer"]
+
+
+def pact_quantize(x: Tensor, alpha: Tensor, config: QuantConfig) -> Tensor:
+    """PACT forward: clipped-ReLU then uniform (unsigned) quantization.
+
+    Gradients: pass-through to ``x`` on ``0 <= x < alpha``; gradient to
+    ``alpha`` equal to the upstream gradient where ``x >= alpha``.
+    """
+    x = as_tensor(x)
+    alpha = as_tensor(alpha)
+    levels = 2 ** config.bits - 1
+    a = float(alpha.data)
+    clipped = np.clip(x.data, 0.0, a)
+    scale = max(a, 1e-12) / levels
+    out = np.rint(clipped / scale) * scale
+
+    in_range = (x.data >= 0.0) & (x.data < a)
+    above = x.data >= a
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        return g * in_range
+
+    def grad_alpha(g: np.ndarray) -> np.ndarray:
+        return np.asarray((g * above).sum()).reshape(alpha.data.shape)
+
+    return Tensor._make(out, [(x, grad_x), (alpha, grad_alpha)])
+
+
+class PACTQuantizer(Module):
+    """Activation quantizer with a learnable clipping level ``alpha``.
+
+    Parameters
+    ----------
+    config: unsigned quantizer configuration (PACT follows a ReLU).
+    init_alpha: initial clipping level.
+    alpha_decay: L2 regularization coefficient ``lambda_alpha``; the paper
+        notes this extra hand-tuned hyperparameter as a drawback of PACT.
+    """
+
+    def __init__(self, config: QuantConfig, init_alpha: float = 6.0,
+                 alpha_decay: float = 0.0, trainable: bool = True,
+                 name: str | None = None) -> None:
+        super().__init__()
+        self.config = config
+        self.alpha = Parameter(np.asarray(float(init_alpha)), requires_grad=trainable)
+        self.alpha_decay = alpha_decay
+        self.trainable = trainable
+        self.name = name
+
+    def regularization_loss(self) -> Tensor:
+        """``lambda_alpha * alpha^2`` penalty term to be added to the loss."""
+        return (self.alpha * self.alpha) * self.alpha_decay
+
+    def forward(self, x: Tensor) -> Tensor:
+        return pact_quantize(x, self.alpha, self.config)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.config.bits}, alpha_decay={self.alpha_decay}"

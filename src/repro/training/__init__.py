@@ -1,0 +1,23 @@
+"""Training, evaluation and experiment drivers."""
+
+from .hparams import AdamGuidelines, adam_guidelines, PaperHyperparameters
+from .evaluator import Evaluator, EvaluationResult, topk_accuracy
+from .checkpoints import CheckpointKeeper, ValidationRecord
+from .trainer import Trainer, TrainingResult
+from .experiment import ExperimentConfig, ExperimentRunner, TrialResult
+
+__all__ = [
+    "AdamGuidelines",
+    "adam_guidelines",
+    "PaperHyperparameters",
+    "Evaluator",
+    "EvaluationResult",
+    "topk_accuracy",
+    "CheckpointKeeper",
+    "ValidationRecord",
+    "Trainer",
+    "TrainingResult",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "TrialResult",
+]

@@ -1,0 +1,72 @@
+"""Best-checkpoint tracking and validation-history bookkeeping.
+
+The paper validates every 1000 steps, keeps the best top-1 checkpoint and —
+in Appendix D — compares that "best" number against the mean of five fixed
+validations in the final epoch to bound the cherry-picking bias.  Both
+quantities are recorded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .evaluator import EvaluationResult
+
+__all__ = ["ValidationRecord", "CheckpointKeeper"]
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """One validation measurement during training."""
+
+    step: int
+    epoch: float
+    result: EvaluationResult
+
+
+@dataclass
+class CheckpointKeeper:
+    """Keeps the best-top-1 state dict and the full validation history."""
+
+    history: list[ValidationRecord] = field(default_factory=list)
+    best_record: ValidationRecord | None = None
+    best_state: dict | None = None
+
+    def update(self, step: int, epoch: float, result: EvaluationResult, state: dict) -> bool:
+        """Record a validation; returns True when it is a new best."""
+        record = ValidationRecord(step=step, epoch=epoch, result=result)
+        self.history.append(record)
+        if self.best_record is None or result.top1 > self.best_record.result.top1:
+            self.best_record = record
+            self.best_state = {key: np.array(value, copy=True) for key, value in state.items()}
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def best_top1(self) -> float:
+        return self.best_record.result.top1 if self.best_record else 0.0
+
+    @property
+    def best_top5(self) -> float:
+        return self.best_record.result.top5 if self.best_record else 0.0
+
+    @property
+    def best_epoch(self) -> float:
+        return self.best_record.epoch if self.best_record else 0.0
+
+    def final_epoch_mean(self, last_fraction: float = 1.0) -> tuple[float, float]:
+        """Mean (top-1, top-5) over the validations of the last epoch span.
+
+        ``last_fraction`` selects the trailing fraction of recorded
+        validations (Appendix D uses five fixed points in the final epoch).
+        """
+        if not self.history:
+            return 0.0, 0.0
+        count = max(1, int(round(len(self.history) * last_fraction)))
+        tail = self.history[-count:]
+        top1 = float(np.mean([record.result.top1 for record in tail]))
+        top5 = float(np.mean([record.result.top5 for record in tail]))
+        return top1, top5

@@ -1,0 +1,60 @@
+"""Validation-accuracy evaluation (top-1 / top-5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..data import DataLoader
+from ..graph import GraphIR
+
+__all__ = ["EvaluationResult", "Evaluator", "topk_accuracy"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy of one validation pass."""
+
+    top1: float
+    top5: float
+    samples: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"top-1 {self.top1 * 100:.1f}%  top-5 {self.top5 * 100:.1f}%  ({self.samples} samples)"
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of rows whose label is within the k highest logits."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    return float(np.mean([label in row for label, row in zip(labels, topk)]))
+
+
+class Evaluator:
+    """Runs a model over a validation loader and reports top-1/top-5."""
+
+    def __init__(self, loader: DataLoader, max_batches: int | None = None) -> None:
+        self.loader = loader
+        self.max_batches = max_batches
+
+    def evaluate(self, model: GraphIR) -> EvaluationResult:
+        was_training = model.training
+        model.eval()
+        correct1 = correct5 = total = 0
+        with no_grad():
+            for batch_index, (images, labels) in enumerate(self.loader):
+                if self.max_batches is not None and batch_index >= self.max_batches:
+                    break
+                logits = model(Tensor(images)).data
+                total += len(labels)
+                correct1 += topk_accuracy(logits, labels, 1) * len(labels)
+                correct5 += topk_accuracy(logits, labels, 5) * len(labels)
+        if was_training:
+            model.train()
+        if total == 0:
+            return EvaluationResult(0.0, 0.0, 0)
+        return EvaluationResult(top1=correct1 / total, top5=correct5 / total, samples=total)

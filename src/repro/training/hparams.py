@@ -1,0 +1,100 @@
+"""Hyperparameter recommendations (Section 5.2 and Table 4 / Appendix C).
+
+``adam_guidelines`` reproduces Table 4: for log-threshold training with Adam
+the learning rate, beta parameters and expected convergence step count are
+functions of the quantizer's positive clipping level ``p = 2^(b-1) - 1``.
+``PaperHyperparameters`` bundles the full Section 5.2 training recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..optim.schedules import paper_threshold_schedule, paper_weight_schedule
+
+__all__ = ["AdamGuidelines", "adam_guidelines", "PaperHyperparameters"]
+
+
+@dataclass(frozen=True)
+class AdamGuidelines:
+    """Safe Adam hyperparameters for log-threshold training at bit-width ``b``."""
+
+    bits: int
+    p: int
+    max_learning_rate: float
+    min_beta1: float
+    min_beta2: float
+    expected_steps: float
+
+    def satisfied_by(self, learning_rate: float, beta1: float, beta2: float) -> bool:
+        """Whether the supplied hyperparameters respect all three bounds.
+
+        Table 4 quotes the ``beta2`` bound rounded to the displayed precision
+        (e.g. "0.999" for 8 bits, whose exact value is 1 - 0.1/127 = 0.99921),
+        so the comparison uses the same granularity.
+        """
+        return (learning_rate <= self.max_learning_rate + 1e-12
+                and beta1 >= self.min_beta1 - 1e-12
+                and beta2 >= self.min_beta2 - 1e-3)
+
+
+def adam_guidelines(bits: int, signed: bool = True) -> AdamGuidelines:
+    """Table 4: bounds guaranteeing threshold oscillations stay inside one bin.
+
+    * ``alpha <= 0.1 / sqrt(p)`` keeps the worst-case excursion
+      ``alpha * sqrt(r_g)`` (Eq. 29, with the 10x over-design) below one
+      integer bin, using ``r_g ≈ p``.
+    * ``beta1 >= 1/e`` is required by the Appendix C analysis.
+    * ``beta2 >= 1 - 0.1/p`` keeps the variance window long compared to the
+      oscillation period ``T ≈ r_g``.
+    * steps ≈ ``1/alpha + 1/(1-beta2)`` is the convergence estimate.
+    """
+    if bits < 2:
+        raise ValueError("bit-width must be at least 2")
+    p = 2 ** (bits - 1) - 1 if signed else 2 ** bits - 1
+    max_lr = 0.1 / np.sqrt(p)
+    min_beta2 = 1.0 - 0.1 / p
+    expected_steps = 1.0 / max_lr + 1.0 / (1.0 - min_beta2)
+    return AdamGuidelines(bits=bits, p=p, max_learning_rate=float(max_lr),
+                          min_beta1=float(1.0 / np.e), min_beta2=float(min_beta2),
+                          expected_steps=float(expected_steps))
+
+
+@dataclass
+class PaperHyperparameters:
+    """The Section 5.2 retraining recipe, scaled by batch size.
+
+    Attributes mirror the paper: Adam(0.9, 0.999) for both groups, threshold
+    LR 1e-2, weight LR 1e-6 (scaled up here because the synthetic task and
+    nano models need larger steps to move in few epochs — the *ratio* and
+    the schedules are preserved), exponential staircase decay, batch-norm
+    statistics frozen after one epoch, incremental threshold freezing.
+    """
+
+    batch_size: int = 24
+    threshold_lr: float = 1e-2
+    weight_lr: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    weight_decay: float = 0.0
+    max_epochs: int = 5
+    bn_freeze_epochs: int = 1
+    freeze_thresholds: bool = True
+    validate_every_steps: int = 0   # 0 = once per epoch
+
+    weight_schedule: object = field(default=None)
+    threshold_schedule: object = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.weight_schedule is None:
+            self.weight_schedule = paper_weight_schedule(self.batch_size)
+        if self.threshold_schedule is None:
+            self.threshold_schedule = paper_threshold_schedule(self.batch_size)
+
+    @classmethod
+    def paper_exact(cls, batch_size: int = 24) -> "PaperHyperparameters":
+        """The literal Section 5.2 values (weight LR 1e-6), for documentation
+        and for tests that check the recipe itself rather than training speed."""
+        return cls(batch_size=batch_size, threshold_lr=1e-2, weight_lr=1e-6)

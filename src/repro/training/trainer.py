@@ -1,0 +1,175 @@
+"""Quantized (re)training loop implementing the Section 5.2 recipe.
+
+The trainer:
+
+* puts weights and thresholds in separate Adam parameter groups with the
+  paper's learning rates and exponential-staircase decay schedules;
+* freezes batch-norm moving statistics after the configured number of
+  epochs (the quantized graphs have BN folded, but the FP32 baseline runs
+  use the same trainer, so the hook is honoured in both cases);
+* incrementally freezes thresholds via :class:`repro.quant.ThresholdFreezer`;
+* validates periodically, keeping the best top-1 checkpoint
+  (:class:`repro.training.checkpoints.CheckpointKeeper`);
+* records threshold trajectories so the Figure 5/6/10 analyses can report
+  deviations ``d = Δ ceil(log2 t)`` per quantizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+from ..data import DataLoader
+from ..graph import GraphIR, split_parameters, collect_tqt_quantizers
+from ..nn import BatchNorm2d, l2_regularization
+from ..optim import Adam, ParamGroup
+from ..quant import FreezingPolicy, ThresholdFreezer
+from .checkpoints import CheckpointKeeper
+from .evaluator import EvaluationResult, Evaluator
+from .hparams import PaperHyperparameters
+
+__all__ = ["TrainingResult", "Trainer"]
+
+
+@dataclass
+class TrainingResult:
+    """Summary of one training run."""
+
+    best_top1: float
+    best_top5: float
+    best_epoch: float
+    final_top1: float
+    final_top5: float
+    steps: int
+    loss_history: list[float] = field(default_factory=list)
+    checkpoints: CheckpointKeeper | None = None
+    threshold_history: dict[str, list[float]] = field(default_factory=dict)
+    initial_thresholds: dict[str, float] = field(default_factory=dict)
+    final_thresholds: dict[str, float] = field(default_factory=dict)
+
+    def threshold_deviations(self) -> dict[str, float]:
+        """Per-quantizer deviation ``d = ceil(log2 t_final) - ceil(log2 t_init)``.
+
+        Positive deviations mean the threshold moved out (range over
+        precision); negative deviations mean it moved in (precision over
+        range) — the quantity plotted in Figures 5, 6 and 10.
+        """
+        deviations = {}
+        for name, initial in self.initial_thresholds.items():
+            final = self.final_thresholds.get(name, initial)
+            deviations[name] = float(np.ceil(final) - np.ceil(initial))
+        return deviations
+
+
+class Trainer:
+    """Joint weight + threshold training on a global cross-entropy loss."""
+
+    def __init__(self, model: GraphIR, train_loader: DataLoader, val_loader: DataLoader,
+                 hparams: PaperHyperparameters | None = None,
+                 track_thresholds: bool = False,
+                 max_val_batches: int | None = None) -> None:
+        self.model = model
+        self.train_loader = train_loader
+        self.val_loader = val_loader
+        self.hparams = hparams or PaperHyperparameters(batch_size=train_loader.batch_size)
+        self.track_thresholds = track_thresholds
+        self.evaluator = Evaluator(val_loader, max_batches=max_val_batches)
+
+        weights, thresholds = split_parameters(model)
+        groups = []
+        if weights:
+            groups.append(ParamGroup(weights, lr=self.hparams.weight_lr,
+                                     schedule=self.hparams.weight_schedule, name="weights",
+                                     weight_decay=self.hparams.weight_decay))
+        if thresholds:
+            groups.append(ParamGroup(thresholds, lr=self.hparams.threshold_lr,
+                                     schedule=self.hparams.threshold_schedule, name="thresholds"))
+        self.optimizer = Adam(groups, lr=self.hparams.weight_lr,
+                              beta1=self.hparams.beta1, beta2=self.hparams.beta2)
+
+        trainable_quantizers = collect_tqt_quantizers(model, trainable_only=True)
+        policy = FreezingPolicy.from_batch_size(self.hparams.batch_size,
+                                                enabled=self.hparams.freeze_thresholds)
+        self.freezer = ThresholdFreezer(trainable_quantizers, policy)
+        self._all_quantizers = collect_tqt_quantizers(model)
+
+    # ------------------------------------------------------------------ #
+    def _thresholds_snapshot(self) -> dict[str, float]:
+        return {name: float(np.asarray(q.log2_t.data).reshape(-1)[0])
+                for name, q in self._all_quantizers.items()
+                if q.log2_t.data.ndim == 0}
+
+    def _freeze_batch_norms(self) -> None:
+        for module in self.model.modules():
+            if isinstance(module, BatchNorm2d):
+                module.freeze_statistics()
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """One optimization step; returns the scalar loss."""
+        self.model.train()
+        logits = self.model(Tensor(images))
+        loss = cross_entropy(logits, labels)
+        if self.hparams.weight_decay > 0:
+            weights, _ = split_parameters(self.model)
+            loss = loss + l2_regularization(weights, self.hparams.weight_decay)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.freezer.observe()
+        self.optimizer.step()
+        self.freezer.step(self.optimizer.step_count)
+        return float(loss.data)
+
+    def train(self, epochs: int | None = None) -> TrainingResult:
+        """Run training for up to ``epochs`` (default: the recipe's max)."""
+        epochs = epochs if epochs is not None else self.hparams.max_epochs
+        steps_per_epoch = self.train_loader.steps_per_epoch
+        validate_every = self.hparams.validate_every_steps or steps_per_epoch
+        checkpoints = CheckpointKeeper()
+        loss_history: list[float] = []
+        threshold_history: dict[str, list[float]] = {name: [] for name in self._all_quantizers} \
+            if self.track_thresholds else {}
+        initial_thresholds = self._thresholds_snapshot()
+
+        step = 0
+        for epoch in range(epochs):
+            if epoch == self.hparams.bn_freeze_epochs:
+                self._freeze_batch_norms()
+            for images, labels in self.train_loader:
+                loss = self.train_step(images, labels)
+                loss_history.append(loss)
+                step += 1
+                if self.track_thresholds:
+                    snapshot = self._thresholds_snapshot()
+                    for name, value in snapshot.items():
+                        threshold_history[name].append(value)
+                if step % validate_every == 0:
+                    result = self.evaluator.evaluate(self.model)
+                    checkpoints.update(step, step / steps_per_epoch, result,
+                                       self.model.state_dict())
+
+        final = self.evaluator.evaluate(self.model)
+        if not checkpoints.history:
+            checkpoints.update(step, step / max(steps_per_epoch, 1), final,
+                               self.model.state_dict())
+        final_thresholds = self._thresholds_snapshot()
+        return TrainingResult(
+            best_top1=checkpoints.best_top1,
+            best_top5=checkpoints.best_top5,
+            best_epoch=checkpoints.best_epoch,
+            final_top1=final.top1,
+            final_top5=final.top5,
+            steps=step,
+            loss_history=loss_history,
+            checkpoints=checkpoints,
+            threshold_history=threshold_history,
+            initial_thresholds=initial_thresholds,
+            final_thresholds=final_thresholds,
+        )
+
+    def restore_best(self, result: TrainingResult) -> None:
+        """Load the best checkpoint of a finished run back into the model."""
+        if result.checkpoints is None or result.checkpoints.best_state is None:
+            raise ValueError("the training result has no recorded checkpoint")
+        self.model.load_state_dict(result.checkpoints.best_state, strict=False)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, Preprocessor, SyntheticImageNet, sample_calibration_batches
+from repro.models import build_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_dataset() -> SyntheticImageNet:
+    """A very small synthetic dataset for fast training tests."""
+    return SyntheticImageNet(num_classes=4, image_size=8, train_size=48, val_size=24,
+                             noise_level=0.2, seed=7)
+
+
+@pytest.fixture
+def tiny_loaders(tiny_dataset):
+    preprocessor = Preprocessor()
+    train = DataLoader(tiny_dataset, tiny_dataset.train, batch_size=12,
+                       preprocessor=preprocessor, seed=3)
+    val = DataLoader(tiny_dataset, tiny_dataset.val, batch_size=12, shuffle=False,
+                     preprocessor=preprocessor, seed=3)
+    return train, val
+
+
+@pytest.fixture
+def calibration_batches(tiny_dataset):
+    return sample_calibration_batches(tiny_dataset, num_samples=16, batch_size=8, seed=5)
+
+
+@pytest.fixture
+def lenet_graph():
+    return build_model("lenet_nano", num_classes=4, seed=11)

@@ -1,0 +1,153 @@
+"""Unit tests for transfer curves (Fig. 1/3), gradient landscapes (Fig. 7) and
+Adam convergence analysis (Fig. 9 / Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ToyL2Problem,
+    clipping_limits,
+    compute_gradient_landscape,
+    estimate_gradient_ratio,
+    fakequant_transfer_curves,
+    max_excursion_bound,
+    measure_oscillations,
+    oscillation_period_estimate,
+    scale_invariance_metrics,
+    simulate_bang_bang_adam,
+    tqt_transfer_curves,
+    train_threshold,
+)
+from repro.quant import QuantConfig
+
+
+class TestTQTTransferCurves:
+    """Properties of Figure 1 (b = 3, t = 1.0, signed)."""
+
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return tqt_transfer_curves(threshold=1.0, bits=3, signed=True)
+
+    def test_clipping_limits_match_paper_example(self, curves):
+        # b=3, t=1: s = 2^0 / 4 = 0.25, n=-4, p=3 -> xn = -1.125, xp = 0.875
+        low, high = clipping_limits(1.0, QuantConfig(bits=3, signed=True))
+        assert low == pytest.approx(-1.125)
+        assert high == pytest.approx(0.875)
+        assert curves.clip_low == pytest.approx(-1.125)
+        assert curves.clip_high == pytest.approx(0.875)
+
+    def test_forward_is_staircase_with_saturation(self, curves):
+        assert curves.forward.min() == pytest.approx(-1.0)   # n*s = -4*0.25
+        assert curves.forward.max() == pytest.approx(0.75)   # p*s = 3*0.25
+        # only 8 distinct levels for b=3
+        assert len(np.unique(np.round(curves.forward, 6))) == 8
+
+    def test_input_gradient_is_indicator_of_clipping_range(self, curves):
+        inside = (curves.x > curves.clip_low) & (curves.x < curves.clip_high)
+        margin = 0.01
+        strict_inside = (curves.x > curves.clip_low + margin) & (curves.x < curves.clip_high - margin)
+        np.testing.assert_allclose(curves.grad_input[strict_inside], 1.0)
+        strict_outside = (curves.x < curves.clip_low - margin) | (curves.x > curves.clip_high + margin)
+        np.testing.assert_allclose(curves.grad_input[strict_outside], 0.0)
+
+    def test_threshold_gradient_saturates_to_ns_and_ps_ln2(self, curves):
+        # outside the clipping range, d q / d log2 t = s ln2 * n (left) or s ln2 * p (right)
+        s, n, p = 0.25, -4, 3
+        left = curves.x < curves.clip_low - 0.01
+        right = curves.x > curves.clip_high + 0.01
+        np.testing.assert_allclose(curves.grad_threshold[left], s * np.log(2) * n, atol=1e-9)
+        np.testing.assert_allclose(curves.grad_threshold[right], s * np.log(2) * p, atol=1e-9)
+
+    def test_threshold_gradient_nonzero_inside(self, curves):
+        """Unlike FakeQuant, the TQT threshold gradient is generally non-zero
+        inside the clipping range (this is the range-precision trade-off)."""
+        inside = (curves.x > curves.clip_low + 0.01) & (curves.x < curves.clip_high - 0.01)
+        assert np.abs(curves.grad_threshold[inside]).max() > 0.01
+
+    def test_l2_loss_threshold_gradient_changes_sign(self, curves):
+        inside = (curves.x > curves.clip_low + 0.01) & (curves.x < curves.clip_high - 0.01)
+        outside = (curves.x < curves.clip_low - 0.1) | (curves.x > curves.clip_high + 0.1)
+        assert curves.loss_grad_threshold[outside].max() < 0        # pulls range out
+        assert curves.loss_grad_threshold[inside].max() > 0         # pulls range in
+
+    def test_unsigned_curves(self):
+        curves = tqt_transfer_curves(threshold=1.0, bits=3, signed=False)
+        assert curves.forward.min() == 0.0
+        assert curves.forward.max() == pytest.approx(7 / 8)
+
+
+class TestFakeQuantTransferCurves:
+    """Properties of Figure 3: clipped gradients."""
+
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return fakequant_transfer_curves(clip_min=-1.125, clip_max=0.875, bits=3)
+
+    def test_forward_matches_tqt_when_limits_align(self):
+        """Section 3.5: the FakeQuant forward pass is mathematically equivalent
+        to TQT's when (min, max) are set to TQT's representable extremes
+        (n*s, p*s) = (-1.0, 0.75) for b = 3, t = 1."""
+        fq = fakequant_transfer_curves(clip_min=-1.0, clip_max=0.75, bits=3)
+        tqt = tqt_transfer_curves(threshold=1.0, bits=3, signed=True)
+        inside = (fq.x > -0.99) & (fq.x < 0.74)
+        np.testing.assert_allclose(fq.forward[inside], tqt.forward[inside], atol=1e-9)
+
+    def test_threshold_gradient_zero_inside(self, curves):
+        inside = (curves.x > -1.0) & (curves.x < 0.8)
+        np.testing.assert_allclose(curves.grad_threshold[inside], 0.0, atol=1e-12)
+
+    def test_threshold_gradient_one_above_max(self, curves):
+        above = curves.x > 1.0
+        np.testing.assert_allclose(curves.grad_threshold[above], 1.0)
+
+    def test_loss_gradient_never_pulls_threshold_inward(self, curves):
+        """The overall L2 gradient w.r.t. max is <= 0 everywhere: the threshold
+        only ever grows — no range/precision trade-off."""
+        assert curves.loss_grad_threshold.max() <= 1e-12
+
+
+class TestGradientLandscape:
+    def test_normed_gradients_are_scale_invariant(self):
+        landscapes = [compute_gradient_landscape(sigma, bits=8, num_points=81, seed=0)
+                      for sigma in (0.01, 1.0, 100.0)]
+        spreads = scale_invariance_metrics(landscapes)
+        # raw/log gradients vary over orders of magnitude with input scale,
+        # normed gradients stay within a factor of a few (Figure 7).
+        assert spreads["raw_grad"] > 100
+        assert spreads["log_grad"] > 100
+        assert spreads["normed_log_grad"] < 10
+
+    def test_normed_gradient_bounded_by_one(self):
+        landscape = compute_gradient_landscape(1.0, num_points=41, seed=0)
+        assert np.abs(landscape.normed_log_grad).max() <= 1.0 + 1e-9
+
+
+class TestAdamConvergenceAnalysis:
+    def test_period_estimate_equals_gradient_ratio(self):
+        assert oscillation_period_estimate(244.0) == 244.0
+
+    def test_excursion_bound_formula(self):
+        assert max_excursion_bound(100.0, 0.01) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("ratio", [20.0, 100.0, 300.0])
+    def test_bang_bang_simulation_matches_theory(self, ratio):
+        sim = simulate_bang_bang_adam(gradient_ratio=ratio, learning_rate=0.01,
+                                      steps=int(100 * ratio))
+        # Appendix C: T ~= r_g and excursion < alpha * sqrt(r_g)
+        assert sim.period == pytest.approx(ratio, rel=0.35)
+        assert sim.excursion <= sim.excursion_bound * 1.05
+
+    def test_estimate_gradient_ratio_is_large_for_8bit(self):
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=3000, seed=0)
+        ratio = estimate_gradient_ratio(problem)   # locates log2 t* itself
+        assert ratio > 3.0
+        # Appendix C bounds r_g by roughly 6 * f * p <= 6p with p = 127
+        assert ratio < 6 * 127
+
+    def test_measure_oscillations_on_trained_trajectory(self):
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=400, seed=0)
+        trajectory = train_threshold(problem, init_log2_t=1.0, steps=800, lr=0.01,
+                                     method="adam", batch_size=400, seed=0)
+        stats = measure_oscillations(trajectory, tail=300)
+        assert stats["amplitude"] < 1.0
+        assert stats["period"] >= 1.0

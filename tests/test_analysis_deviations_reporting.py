@@ -1,0 +1,119 @@
+"""Unit tests for threshold-deviation analysis (Fig. 5/6/10) and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ThresholdDeviation,
+    collect_layer_distributions,
+    collect_threshold_deviations,
+    deviation_histogram,
+    format_histogram,
+    format_percent,
+    format_series,
+    format_table,
+)
+from repro.graph import prepare_retrain
+from repro.graph.transforms import run_default_optimizations
+from repro.training import PaperHyperparameters, Trainer
+from repro.training.trainer import TrainingResult
+
+
+class TestThresholdDeviation:
+    def test_deviation_is_integer_bin_difference(self):
+        record = ThresholdDeviation("w", 8, "weight", initial_log2_t=0.3, trained_log2_t=-1.4)
+        assert record.deviation == -2
+        assert record.prefers_precision and not record.prefers_range
+
+    def test_positive_deviation_prefers_range(self):
+        record = ThresholdDeviation("a", 8, "activation", initial_log2_t=0.3, trained_log2_t=2.5)
+        assert record.deviation == 2
+        assert record.prefers_range
+
+    def test_raw_threshold_properties(self):
+        record = ThresholdDeviation("w", 8, "weight", initial_log2_t=1.0, trained_log2_t=2.0)
+        assert record.initial_threshold == pytest.approx(2.0)
+        assert record.trained_threshold == pytest.approx(4.0)
+
+
+class TestCollectionFromTrainingResult:
+    def test_histogram_from_synthetic_result(self):
+        result = TrainingResult(
+            best_top1=0.0, best_top5=0.0, best_epoch=0.0, final_top1=0.0, final_top5=0.0,
+            steps=0,
+            initial_thresholds={"a.weight_quantizer": 0.2, "b.output_quantizer": 0.2,
+                                "c.weight_quantizer": 0.4},
+            final_thresholds={"a.weight_quantizer": -1.5, "b.output_quantizer": 1.3,
+                              "c.weight_quantizer": 0.45},
+        )
+        deviations = collect_threshold_deviations(result)
+        histogram = deviation_histogram(deviations)
+        assert histogram == {-2: 1, 0: 1, 1: 1}
+
+    def test_kind_classification(self):
+        result = TrainingResult(
+            best_top1=0, best_top5=0, best_epoch=0, final_top1=0, final_top5=0, steps=0,
+            initial_thresholds={"x.weight_quantizer": 0.0, "x.bias_quantizer": 0.0,
+                                "x.output_quantizer.impl": 0.0},
+            final_thresholds={},
+        )
+        kinds = {d.name: d.kind for d in collect_threshold_deviations(result)}
+        assert kinds["x.weight_quantizer"] == "weight"
+        assert kinds["x.bias_quantizer"] == "bias"
+        assert kinds["x.output_quantizer.impl"] == "activation"
+
+    def test_histogram_kind_filter(self):
+        result = TrainingResult(
+            best_top1=0, best_top5=0, best_epoch=0, final_top1=0, final_top5=0, steps=0,
+            initial_thresholds={"x.weight_quantizer": 0.0, "x.bias_quantizer": 0.0},
+            final_thresholds={"x.weight_quantizer": 2.0, "x.bias_quantizer": 2.0},
+        )
+        deviations = collect_threshold_deviations(result)
+        assert deviation_histogram(deviations, kinds=("weight",)) == {2: 1}
+
+
+class TestLayerDistributions:
+    def test_collect_from_trained_graph(self, lenet_graph, tiny_loaders, calibration_batches):
+        train_loader, val_loader = tiny_loaders
+        lenet_graph.eval()
+        run_default_optimizations(lenet_graph)
+        model = prepare_retrain(lenet_graph, calibration_batches, mode="wt,th", copy=False)
+        hp = PaperHyperparameters(batch_size=train_loader.batch_size, threshold_lr=0.1,
+                                  max_epochs=1, freeze_thresholds=False)
+        trainer = Trainer(model.graph, train_loader, val_loader, hparams=hp)
+        result = trainer.train(1)
+        panels = collect_layer_distributions(model.graph, result, only_changed=False)
+        assert panels, "expected at least one compute layer panel"
+        for panel in panels:
+            assert panel.values.ndim == 1
+            assert panel.initial_threshold > 0
+            assert 0.0 <= panel.clipped_fraction <= 1.0
+            assert panel.kind in ("dense", "depthwise", "linear")
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(0.7123) == "71.2"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "top-1"], [["vgg", 71.5], ["mobilenet", 70.9]],
+                             title="Results")
+        lines = table.splitlines()
+        assert lines[0] == "Results"
+        assert "name" in lines[1] and "top-1" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_histogram(self):
+        text = format_histogram({-1: 2, 0: 10, 3: 1}, title="Deviations")
+        assert "Deviations" in text
+        assert "+3" in text and "-1" in text
+
+    def test_format_histogram_empty(self):
+        assert "(empty)" in format_histogram({})
+
+    def test_format_series_subsamples(self):
+        x = np.arange(100)
+        y = np.linspace(0, 1, 100)
+        text = format_series(x, y, "loss", max_points=5)
+        assert text.startswith("loss:")
+        assert text.count("(") == 5

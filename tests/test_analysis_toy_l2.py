@@ -1,0 +1,113 @@
+"""Unit tests for the toy L2 quantizer problem (Section 3.4 / Figure 2 / Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ToyL2Problem, threshold_gradient_field, train_threshold
+
+
+class TestToyProblem:
+    def test_loss_decreases_toward_optimum(self):
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=500, seed=0)
+        optimum = problem.optimal_log_threshold()
+        loss_at_optimum, _ = problem.loss_and_log_grad(optimum)
+        loss_far, _ = problem.loss_and_log_grad(optimum + 4.0)
+        assert loss_at_optimum < loss_far
+
+    def test_optimum_scales_with_sigma(self):
+        small = ToyL2Problem(sigma=0.01, bits=8, num_samples=500, seed=0)
+        large = ToyL2Problem(sigma=10.0, bits=8, num_samples=500, seed=0)
+        assert large.optimal_log_threshold() > small.optimal_log_threshold() + 5
+
+    def test_gradient_sign_around_optimum(self):
+        """Negative feedback: gradient is negative below the optimum (threshold
+        too small, loss decreases as it grows) and positive above it."""
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=2000, seed=0)
+        optimum = problem.optimal_log_threshold()
+        _, grad_below = problem.loss_and_log_grad(optimum - 2.0)
+        _, grad_above = problem.loss_and_log_grad(optimum + 2.0)
+        assert grad_below < 0
+        assert grad_above > 0
+
+    def test_raw_gradient_chain_rule(self):
+        problem = ToyL2Problem(sigma=1.0, bits=4, num_samples=200, seed=0)
+        threshold = 1.7
+        _, raw_grad = problem.loss_and_raw_grad(threshold)
+        _, log_grad = problem.loss_and_log_grad(np.log2(threshold))
+        assert raw_grad == pytest.approx(log_grad / (threshold * np.log(2)), rel=1e-9)
+
+    def test_input_gradients_nonzero_only_for_clipped_values(self):
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=1000, seed=0)
+        log2_t = -1.0
+        grads = problem.input_gradients(log2_t)
+        # exact real-domain clipping limits: x_n = s(n - 0.5), x_p = s(p + 0.5)
+        s = 2.0 ** np.ceil(log2_t) / 128
+        clipped = (problem.x > s * 127.5) | (problem.x < s * -128.5)
+        # inside the range dq/dx = 1, so (q-x)(dq/dx - 1) = 0 exactly
+        np.testing.assert_allclose(grads[~clipped], 0.0, atol=1e-12)
+        # clipped inputs feel a restoring force pushing them back in
+        assert np.abs(grads[clipped]).max() > 0.1
+
+    def test_gradient_field_shapes(self):
+        problem = ToyL2Problem(sigma=0.5, bits=8, num_samples=200, seed=0)
+        grid = np.linspace(-4, 4, 17)
+        field = threshold_gradient_field(problem, grid)
+        assert field["loss"].shape == (17,)
+        assert field["log_grad"].shape == (17,)
+        assert field["raw_grad"].shape == (17,)
+
+
+class TestThresholdTraining:
+    @pytest.mark.parametrize("method", ["adam", "normed_sgd"])
+    def test_adaptive_methods_converge_from_far_initialization(self, method):
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=400, seed=0)
+        optimum = problem.optimal_log_threshold()
+        trajectory = train_threshold(problem, init_log2_t=optimum + 5.0, steps=300, lr=0.1,
+                                     method=method, batch_size=400, seed=1)
+        assert abs(trajectory.final - optimum) < 1.5
+
+    def test_plain_sgd_on_log_threshold_stalls_for_small_sigma(self):
+        """Appendix B.2 / Figure 8 (sigma = 1e-2): log-gradient magnitudes scale
+        with the input variance, so plain SGD barely moves toward the (much
+        lower) optimum while Adam's adaptive step reaches it."""
+        problem = ToyL2Problem(sigma=0.01, bits=8, num_samples=400, seed=0)
+        optimum = problem.optimal_log_threshold()
+        start = 1.0   # far above the optimum (~ -4.6)
+        sgd = train_threshold(problem, init_log2_t=start, steps=200, lr=0.1,
+                              method="sgd", batch_size=400, seed=1)
+        adam = train_threshold(problem, init_log2_t=start, steps=200, lr=0.1,
+                               method="adam", batch_size=400, seed=1)
+        assert abs(adam.final - optimum) < abs(sgd.final - optimum)
+        assert abs(sgd.final - start) < 1.0   # barely moved
+
+    def test_raw_domain_sgd_diverges_or_stalls_for_large_sigma(self):
+        """Appendix B.1/B.2: raw-threshold SGD updates scale with sigma^2, so a
+        large-sigma problem with the same LR overshoots wildly."""
+        problem = ToyL2Problem(sigma=100.0, bits=8, num_samples=300, seed=0)
+        optimum = problem.optimal_log_threshold()
+        raw = train_threshold(problem, init_log2_t=optimum + 1.0, steps=100, lr=0.1,
+                              method="sgd", domain="raw", batch_size=300, seed=2)
+        adam_log = train_threshold(problem, init_log2_t=optimum + 1.0, steps=100, lr=0.1,
+                                   method="adam", domain="log", batch_size=300, seed=2)
+        assert abs(adam_log.final - optimum) < abs(raw.final - optimum)
+
+    def test_trajectory_records_every_step(self):
+        problem = ToyL2Problem(sigma=1.0, bits=4, num_samples=100, seed=0)
+        trajectory = train_threshold(problem, init_log2_t=2.0, steps=50, method="adam",
+                                     batch_size=100)
+        assert len(trajectory.log2_t) == 50
+        assert len(trajectory.losses) == 50
+        assert len(trajectory.gradients) == 50
+
+    def test_oscillation_band_is_small_for_guideline_lr(self):
+        """With alpha below the Table 4 bound the post-convergence oscillation
+        stays well inside a single integer bin."""
+        problem = ToyL2Problem(sigma=1.0, bits=8, num_samples=500, seed=0)
+        trajectory = train_threshold(problem, init_log2_t=1.0, steps=1200, lr=0.009,
+                                     method="adam", batch_size=500, seed=3)
+        assert trajectory.oscillation_amplitude(tail=300) < 1.0
+
+    def test_unknown_method_rejected(self):
+        problem = ToyL2Problem(sigma=1.0, num_samples=50)
+        with pytest.raises(ValueError):
+            train_threshold(problem, 0.0, steps=5, method="adagrad")

@@ -1,0 +1,164 @@
+"""Unit tests for convolution and pooling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    avg_pool2d,
+    check_gradients,
+    col2im,
+    conv2d,
+    conv_output_size,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+)
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0, groups=1):
+    """Straightforward loop reference used as the gold standard."""
+    n, c_in, h, width = x.shape
+    c_out, c_in_g, kh, kw = w.shape
+    sh = sw = stride
+    x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = conv_output_size(h, kh, sh, padding)
+    ow = conv_output_size(width, kw, sw, padding)
+    out = np.zeros((n, c_out, oh, ow))
+    in_per_group = c_in // groups
+    out_per_group = c_out // groups
+    for img in range(n):
+        for oc in range(c_out):
+            g = oc // out_per_group
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x_padded[img, g * in_per_group:(g + 1) * in_per_group,
+                                     i * sh:i * sh + kh, j * sw:j * sw + kw]
+                    out[img, oc, i, j] = (patch * w[oc]).sum()
+            if b is not None:
+                out[img, oc] += b[oc]
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive_reference(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = naive_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_depthwise_matches_naive_grouped(self, rng):
+        x = rng.standard_normal((2, 4, 6, 6))
+        w = rng.standard_normal((4, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=1, padding=1, groups=4)
+        expected = naive_conv2d(x, w, None, stride=1, padding=1, groups=4)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_grouped_conv(self, rng):
+        x = rng.standard_normal((1, 4, 5, 5))
+        w = rng.standard_normal((6, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1, groups=2)
+        expected = naive_conv2d(x, w, None, stride=1, padding=1, groups=2)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_1x1_conv(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        w = rng.standard_normal((5, 3, 1, 1))
+        out = conv2d(Tensor(x), Tensor(w))
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        w = Tensor(rng.standard_normal((2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_groups_must_divide_channels(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        w = Tensor(rng.standard_normal((2, 1, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w, groups=2)
+
+
+class TestConvBackward:
+    def test_gradients_against_numerical(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.2, requires_grad=True)
+        b = Tensor(rng.standard_normal(3) * 0.2, requires_grad=True)
+        check_gradients(lambda x, w, b: conv2d(x, w, b, stride=2, padding=1), [x, w, b])
+
+    def test_depthwise_gradients(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 1, 3, 3)) * 0.2, requires_grad=True)
+        check_gradients(lambda x, w: conv2d(x, w, padding=1, groups=3), [x, w])
+
+    def test_bias_gradient_is_spatial_sum(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 4, 4)))
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)))
+        b = Tensor(np.zeros(3), requires_grad=True)
+        conv2d(x, w, b, padding=1).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(3, 2 * 4 * 4))
+
+
+class TestIm2Col:
+    def test_im2col_shape(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols = im2col(x, (3, 3), (1, 1), (1, 1))
+        assert cols.shape == (2, 3, 3, 3, 6, 6)
+
+    def test_col2im_adjointness(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((1, 2, 5, 5))
+        cols = im2col(x, (3, 3), (2, 2), (1, 1))
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, (3, 3), (2, 2), (1, 1))).sum())
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+    def test_conv_output_size(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        assert conv_output_size(7, 2, 2, 0) == 3
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), kernel_size=2)
+        np.testing.assert_allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_gradient_routes_to_max(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_avg_pool_numerical_gradient(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda t: avg_pool2d(t, 2, stride=2), [x])
+
+    def test_max_pool_stride_padding(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 5, 5)))
+        out = max_pool2d(x, kernel_size=3, stride=2, padding=1)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = global_avg_pool2d(Tensor(x), keepdims=False)
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), atol=1e-12)
+        out_keep = global_avg_pool2d(Tensor(x), keepdims=True)
+        assert out_keep.shape == (2, 3, 1, 1)

@@ -1,0 +1,160 @@
+"""Unit tests for activations, losses and straight-through estimators."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    ceil_ste,
+    check_gradients,
+    cross_entropy,
+    dropout,
+    floor_ste,
+    leaky_relu,
+    log_softmax,
+    mse_loss,
+    relu,
+    relu6,
+    round_half_to_even,
+    round_ste,
+    sigmoid,
+    softmax,
+    stop_gradient,
+)
+
+
+class TestActivations:
+    def test_relu_forward_and_gradient(self):
+        x = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        out = relu(x)
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_relu6_clips_at_six(self):
+        x = Tensor([-1.0, 3.0, 7.0], requires_grad=True)
+        out = relu6(x)
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_leaky_relu_slope(self):
+        x = Tensor([-2.0, 4.0], requires_grad=True)
+        out = leaky_relu(x, negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 4.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_sigmoid_range_and_gradient(self):
+        x = Tensor(np.linspace(-5, 5, 11), requires_grad=True)
+        out = sigmoid(x)
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+        check_gradients(sigmoid, [Tensor(np.linspace(-2, 2, 7), requires_grad=True)])
+
+    def test_numerical_gradients_of_activations(self):
+        x = Tensor(np.array([-1.5, -0.3, 0.4, 2.2]), requires_grad=True)
+        check_gradients(lambda t: leaky_relu(t, 0.2), [x])
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 7)))
+        np.testing.assert_allclose(softmax(x).data.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(1).standard_normal((2, 5))
+        np.testing.assert_allclose(softmax(Tensor(x)).data,
+                                   softmax(Tensor(x + 100.0)).data, atol=1e-9)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 6)))
+        np.testing.assert_allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-9)
+
+    def test_softmax_gradient_numerical(self):
+        x = Tensor(np.random.default_rng(3).standard_normal((2, 4)), requires_grad=True)
+        check_gradients(lambda t: softmax(t, axis=-1), [x])
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((5, 10)), requires_grad=True)
+        loss = cross_entropy(logits, np.zeros(5, dtype=np.int64))
+        np.testing.assert_allclose(loss.item(), np.log(10.0), atol=1e-9)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.full((3, 4), -20.0)
+        logits[np.arange(3), [0, 1, 2]] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([0, 1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(4)
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        labels = np.array([0, 2, 1, 1])
+        cross_entropy(logits, labels).backward()
+        probs = softmax(Tensor(logits.data)).data
+        onehot = np.zeros((4, 3))
+        onehot[np.arange(4), labels] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 4, atol=1e-9)
+
+    def test_cross_entropy_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.zeros(3, dtype=int))
+
+    def test_mse_loss(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([0.0, 0.0])
+        loss = mse_loss(a, b)
+        np.testing.assert_allclose(loss.item(), 2.5)
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+
+
+class TestStraightThroughEstimators:
+    def test_round_half_to_even_banker_rounding(self):
+        values = np.array([0.5, 1.5, 2.5, -0.5, -1.5])
+        np.testing.assert_allclose(round_half_to_even(values), [0.0, 2.0, 2.0, -0.0, -2.0])
+
+    def test_round_ste_forward_rounds_but_gradient_is_identity(self):
+        x = Tensor([0.4, 0.6, 1.5], requires_grad=True)
+        out = round_ste(x)
+        np.testing.assert_allclose(out.data, [0.0, 1.0, 2.0])
+        assert not np.allclose(out.data, x.data)  # bxe != x (paper Section 3.3)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0, 1.0])  # d/dx bxe = 1
+
+    def test_ceil_ste(self):
+        x = Tensor([0.2, -0.2], requires_grad=True)
+        out = ceil_ste(x)
+        np.testing.assert_allclose(out.data, [1.0, 0.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_floor_ste(self):
+        x = Tensor([0.7, -0.2], requires_grad=True)
+        out = floor_ste(x)
+        np.testing.assert_allclose(out.data, [0.0, -1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_stop_gradient_blocks_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = stop_gradient(x) * 3.0
+        assert not y.requires_grad
+        assert x.grad is None
+
+
+class TestDropout:
+    def test_dropout_disabled_at_eval(self):
+        x = Tensor(np.ones(100))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expected_value(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(20000))
+        out = dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_zero_rate_is_identity(self):
+        x = Tensor(np.ones(10), requires_grad=True)
+        out = dropout(x, 0.0, np.random.default_rng(0), training=True)
+        assert out is x

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the autograd substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import (
+    Tensor,
+    concatenate,
+    numerical_gradient,
+    relu,
+    softmax,
+)
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+def small_arrays(max_side: int = 5):
+    return hnp.arrays(dtype=np.float64,
+                      shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=max_side),
+                      elements=finite_floats)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_add_mul_gradients_match_numerical(values):
+    x = Tensor(values, requires_grad=True)
+    y = Tensor(values * 0.5 + 1.0, requires_grad=True)
+
+    def fn(a, b):
+        return a * b + a
+
+    out = fn(x, y)
+    out.sum().backward()
+    numeric = numerical_gradient(fn, [x, y], 0)
+    np.testing.assert_allclose(x.grad, numeric, atol=1e-5, rtol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(values):
+    x = Tensor(values, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_relu_output_nonnegative_and_idempotent(values):
+    out = relu(Tensor(values))
+    assert np.all(out.data >= 0)
+    np.testing.assert_allclose(relu(out).data, out.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(2, 6)),
+                  elements=finite_floats))
+def test_softmax_is_a_distribution(values):
+    out = softmax(Tensor(values), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(values.shape[0]), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=4), small_arrays(max_side=4))
+def test_concatenate_preserves_content(a, b):
+    if a.ndim != b.ndim:
+        return
+    if a.shape[1:] != b.shape[1:]:
+        return
+    out = concatenate([Tensor(a), Tensor(b)], axis=0)
+    np.testing.assert_allclose(out.data[:a.shape[0]], a)
+    np.testing.assert_allclose(out.data[a.shape[0]:], b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(finite_floats, min_size=1, max_size=20))
+def test_mean_matches_numpy(values):
+    arr = np.asarray(values)
+    np.testing.assert_allclose(Tensor(arr).mean().item(), arr.mean(), atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays())
+def test_double_negation_is_identity(values):
+    x = Tensor(values)
+    np.testing.assert_allclose((-(-x)).data, values)

@@ -1,0 +1,348 @@
+"""Unit tests for the autograd Tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    as_tensor,
+    clip,
+    concatenate,
+    exp,
+    log,
+    matmul,
+    maximum,
+    minimum,
+    no_grad,
+    pad,
+    sqrt,
+    stack,
+    tanh,
+    unbroadcast,
+    where,
+    zeros,
+    ones,
+    full,
+    arange,
+    randn,
+)
+from repro.autograd import abs as t_abs
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_construction_from_tensor_shares_data(self):
+        base = Tensor([1.0, 2.0])
+        wrapped = Tensor(base)
+        assert np.shares_memory(base.data, wrapped.data)
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.float64
+
+    def test_item_and_len(self):
+        assert Tensor([[3.5]]).item() == 3.5
+        assert len(Tensor([1.0, 2.0, 4.0])) == 3
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_clone_is_differentiable(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x.clone() * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_factories(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((2, 2)).data.sum() == 4
+        assert full((3,), 2.5).data.sum() == 7.5
+        assert arange(4).shape == (4,)
+        assert randn(2, 3, rng=np.random.default_rng(0)).shape == (2, 3)
+
+
+class TestArithmeticGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_sub_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_div_backward(self):
+        a = Tensor([1.0, 4.0], requires_grad=True)
+        b = Tensor([2.0, 8.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.125])
+        np.testing.assert_allclose(b.grad, [-0.25, -0.0625])
+
+    def test_pow_backward(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        (x ** 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0, 27.0])
+
+    def test_neg_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        (-x).backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [-1.0])
+
+    def test_scalar_broadcast(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0 + 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 1.0 - x
+        np.testing.assert_allclose(y.data, [-1.0])
+        z = 4.0 / x
+        np.testing.assert_allclose(z.data, [2.0])
+
+    def test_gradient_accumulation_over_multiple_uses(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2 + x * 3
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_backward_twice_accumulates_into_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        (x * 2).backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_broadcast_gradient_reduction(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_comparison_returns_bool_arrays(self):
+        x = Tensor([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(x > 1.5, [False, True, True])
+        np.testing.assert_array_equal(x <= 2.0, [True, True, False])
+
+
+class TestMatmul:
+    def test_matmul_forward(self):
+        a = Tensor(np.arange(6).reshape(2, 3))
+        b = Tensor(np.arange(12).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_backward(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        matmul(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 4)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 4)))
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((5, 2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((5, 3, 4)), requires_grad=True)
+        out = matmul(a, b)
+        assert out.shape == (5, 2, 4)
+        out.sum().backward()
+        assert a.grad.shape == (5, 2, 3)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_gradient(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_mean_tuple_axis(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = x.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3, 4), 1.0 / 12))
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(0).standard_normal((4, 5))
+        x = Tensor(data)
+        np.testing.assert_allclose(x.var(axis=0).data, data.var(axis=0), atol=1e-12)
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        x = Tensor([[1.0, 2.0], [4.0, 3.0]], requires_grad=True)
+        out = x.max(axis=1)
+        np.testing.assert_allclose(out.data, [2.0, 4.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_min_matches_negated_max(self):
+        x = Tensor([3.0, -1.0, 2.0], requires_grad=True)
+        out = x.min()
+        assert out.item() == -1.0
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.transpose(1, 0)
+        assert y.shape == (3, 2)
+        (y * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_T_property(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.flatten(start_dim=1).shape == (2, 12)
+
+    def test_getitem_gradient_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        y = x[np.array([0, 0, 2])]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_pad_and_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = pad(x, [(1, 1), (0, 2)], value=5.0)
+        assert y.shape == (4, 4)
+        assert y.data[0, 0] == 5.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 2)))
+
+
+class TestElementwiseFunctions:
+    def test_exp_log_sqrt_tanh_abs(self):
+        x = Tensor([0.5, 1.0, 2.0], requires_grad=True)
+        np.testing.assert_allclose(exp(x).data, np.exp(x.data))
+        np.testing.assert_allclose(log(x).data, np.log(x.data))
+        np.testing.assert_allclose(sqrt(x).data, np.sqrt(x.data))
+        np.testing.assert_allclose(tanh(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(t_abs(Tensor([-1.0, 2.0])).data, [1.0, 2.0])
+
+    def test_exp_gradient(self):
+        x = Tensor([1.0], requires_grad=True)
+        exp(x).backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, np.exp([1.0]))
+
+    def test_clip_gradient_mask(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_minimum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+        a.zero_grad(); b.zero_grad()
+        minimum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 4.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestConcatenationAndStack:
+    def test_concatenate_forward_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * Tensor(np.arange(10.0).reshape(2, 5))).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+
+class TestGradModes:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        from repro.autograd import is_grad_enabled
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_on_non_scalar_without_grad_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+
+class TestUnbroadcast:
+    def test_unbroadcast_sums_leading_axes(self):
+        grad = np.ones((5, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (3,)), np.full(3, 5.0))
+
+    def test_unbroadcast_sums_size_one_axes(self):
+        grad = np.ones((4, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (4, 1)), np.full((4, 1), 3.0))
+
+    def test_unbroadcast_identity(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t

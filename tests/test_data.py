@@ -1,0 +1,157 @@
+"""Unit tests for the synthetic dataset, preprocessing and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    Preprocessor,
+    SyntheticImageNet,
+    center_crop,
+    normalize,
+    random_flip,
+    sample_calibration_batches,
+)
+
+
+class TestSyntheticImageNet:
+    def test_shapes_and_labels(self):
+        dataset = SyntheticImageNet(num_classes=5, image_size=12, train_size=20, val_size=10)
+        image, label = dataset.sample(0, dataset.train)
+        assert image.shape == (3, 12, 12)
+        assert 0 <= label < 5
+
+    def test_determinism(self):
+        a = SyntheticImageNet(seed=3)
+        b = SyntheticImageNet(seed=3)
+        img_a, label_a = a.sample(7, a.train)
+        img_b, label_b = b.sample(7, b.train)
+        np.testing.assert_allclose(img_a, img_b)
+        assert label_a == label_b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageNet(seed=1)
+        b = SyntheticImageNet(seed=2)
+        img_a, _ = a.sample(0, a.train)
+        img_b, _ = b.sample(0, b.train)
+        assert not np.allclose(img_a, img_b)
+
+    def test_train_and_val_are_disjoint_generators(self):
+        dataset = SyntheticImageNet(train_size=10, val_size=10, seed=0)
+        train_img, _ = dataset.sample(0, dataset.train)
+        val_img, _ = dataset.sample(0, dataset.val)
+        assert not np.allclose(train_img, val_img)
+
+    def test_out_of_range_index(self):
+        dataset = SyntheticImageNet(train_size=4, val_size=4)
+        with pytest.raises(IndexError):
+            dataset.sample(4, dataset.train)
+
+    def test_batch_generation(self):
+        dataset = SyntheticImageNet(num_classes=3, image_size=8, train_size=16, val_size=8)
+        images, labels = dataset.train_batch(np.arange(5))
+        assert images.shape == (5, 3, 8, 8)
+        assert labels.shape == (5,)
+
+    def test_samples_are_classifiable(self):
+        """Same-class samples are more similar than different-class samples —
+        the dataset actually carries label information."""
+        dataset = SyntheticImageNet(num_classes=4, image_size=12, train_size=400,
+                                    val_size=10, noise_level=0.2, seed=0)
+        images, labels = dataset.train_batch(np.arange(200))
+        by_class = {c: images[labels == c].mean(axis=0) for c in np.unique(labels)}
+        within, between = [], []
+        for c, prototype in by_class.items():
+            members = images[labels == c]
+            within.append(np.mean([np.linalg.norm(m - prototype) for m in members]))
+            for other, other_proto in by_class.items():
+                if other != c:
+                    between.append(np.linalg.norm(prototype - other_proto))
+        assert np.mean(between) > 0.3 * np.mean(within)
+
+    def test_illumination_spread_creates_long_tails(self):
+        flat = SyntheticImageNet(illumination_spread=0.0, train_size=64, val_size=8, seed=0)
+        spread = SyntheticImageNet(illumination_spread=0.8, train_size=64, val_size=8, seed=0)
+        flat_images, _ = flat.train_batch(np.arange(64))
+        spread_images, _ = spread.train_batch(np.arange(64))
+        flat_kurtosis = np.abs(flat_images).max() / np.abs(flat_images).std()
+        spread_kurtosis = np.abs(spread_images).max() / np.abs(spread_images).std()
+        assert spread_kurtosis > flat_kurtosis
+
+
+class TestPreprocessing:
+    def test_normalize(self):
+        out = normalize(np.array([2.0, 4.0]), mean=2.0, std=2.0)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_center_crop(self):
+        images = np.arange(2 * 3 * 6 * 6, dtype=float).reshape(2, 3, 6, 6)
+        cropped = center_crop(images, 4)
+        assert cropped.shape == (2, 3, 4, 4)
+        np.testing.assert_allclose(cropped, images[:, :, 1:5, 1:5])
+
+    def test_center_crop_too_large(self):
+        with pytest.raises(ValueError):
+            center_crop(np.zeros((1, 3, 4, 4)), 8)
+
+    def test_random_flip_probability_one(self):
+        rng = np.random.default_rng(0)
+        images = np.arange(8, dtype=float).reshape(1, 1, 2, 4)
+        flipped = random_flip(images, rng, probability=1.0)
+        np.testing.assert_allclose(flipped[0, 0, 0], images[0, 0, 0, ::-1])
+
+    def test_preprocessor_disables_augmentation_at_eval(self):
+        pre = Preprocessor(augment=True, seed=0)
+        images = np.random.default_rng(0).standard_normal((4, 3, 8, 8))
+        out_eval = pre(images, training=False)
+        np.testing.assert_allclose(out_eval, images)
+
+    def test_preprocessor_crop_and_normalize(self):
+        pre = Preprocessor(mean=1.0, std=2.0, crop=4)
+        images = np.ones((2, 3, 6, 6))
+        out = pre(images)
+        assert out.shape == (2, 3, 4, 4)
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestDataLoader:
+    def test_batches_cover_split(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, tiny_dataset.train, batch_size=10, shuffle=False)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == tiny_dataset.train.size
+        assert len(loader) == (tiny_dataset.train.size + 9) // 10
+
+    def test_shuffle_changes_order_between_epochs(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, tiny_dataset.train, batch_size=tiny_dataset.train.size,
+                            shuffle=True, seed=0)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_no_shuffle_is_deterministic(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, tiny_dataset.val, batch_size=8, shuffle=False)
+        labels_a = np.concatenate([labels for _, labels in loader])
+        labels_b = np.concatenate([labels for _, labels in loader])
+        np.testing.assert_array_equal(labels_a, labels_b)
+
+    def test_preprocessor_applied(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, tiny_dataset.val, batch_size=4, shuffle=False,
+                            preprocessor=Preprocessor(mean=0.0, std=1000.0))
+        images, _ = next(iter(loader))
+        assert np.abs(images).max() < 0.1
+
+
+class TestCalibrationSet:
+    def test_batches_sampled_from_validation(self, tiny_dataset):
+        batches = sample_calibration_batches(tiny_dataset, num_samples=12, batch_size=5)
+        assert sum(len(batch) for batch in batches) == 12
+        assert batches[0].shape[1:] == (3, tiny_dataset.image_size, tiny_dataset.image_size)
+
+    def test_sample_count_capped_by_split_size(self, tiny_dataset):
+        batches = sample_calibration_batches(tiny_dataset, num_samples=10_000, batch_size=50)
+        assert sum(len(batch) for batch in batches) == tiny_dataset.val.size
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a = sample_calibration_batches(tiny_dataset, num_samples=8, seed=3)
+        b = sample_calibration_batches(tiny_dataset, num_samples=8, seed=3)
+        np.testing.assert_allclose(a[0], b[0])

@@ -1,0 +1,127 @@
+"""Unit tests for fixed-point export and bit-accuracy verification."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.graph import (
+    GraphBuilder,
+    OpKind,
+    check_conv_bit_accuracy,
+    export_conv_layer,
+    export_graph_specs,
+    export_linear_layer,
+    integer_conv_forward,
+    integer_linear_forward,
+    quantize_graph,
+)
+from repro.quant import QuantConfig, QuantScheme, QuantizedConv2d, QuantizedLinear, TQTQuantizer
+
+
+def make_quantized_conv(rng, activation="none", bias=False, channels=(3, 8)):
+    conv = nn.Conv2d(channels[0], channels[1], 3, padding=1, bias=bias, rng=rng)
+    layer = QuantizedConv2d(conv, QuantScheme(weight_init="max"), activation=activation,
+                            quantize_internal=False, name="conv")
+    # calibrate the output quantizer on representative data
+    layer.output_quantizer.start_calibration()
+    layer(Tensor(rng.standard_normal((2, channels[0], 6, 6))))
+    layer.output_quantizer.finalize_calibration()
+    return layer
+
+
+def make_input_quantizer(rng, data):
+    quantizer = TQTQuantizer(QuantConfig(bits=8), name="input")
+    quantizer.initialize_from(np.abs(data).max())
+    return quantizer
+
+
+class TestLayerExport:
+    def test_conv_spec_fields(self, rng):
+        layer = make_quantized_conv(rng)
+        spec = export_conv_layer(layer, input_fraction=7)
+        assert spec.weight_codes.dtype == np.int64
+        assert spec.weight_codes.shape == layer.conv.weight.shape
+        assert spec.accumulator_fraction == spec.weight_fraction + 7
+        assert spec.requantize_shift == spec.accumulator_fraction - spec.output_fraction
+
+    def test_conv_weight_codes_in_range(self, rng):
+        layer = make_quantized_conv(rng)
+        spec = export_conv_layer(layer, input_fraction=7)
+        assert spec.weight_codes.min() >= -128 and spec.weight_codes.max() <= 127
+
+    def test_linear_spec(self, rng):
+        linear = nn.Linear(6, 3, bias=False, rng=rng)
+        layer = QuantizedLinear(linear, QuantScheme(weight_init="max"), name="fc")
+        layer.output_quantizer.start_calibration()
+        layer(Tensor(rng.standard_normal((4, 6))))
+        layer.output_quantizer.finalize_calibration()
+        spec = export_linear_layer(layer, input_fraction=7)
+        assert spec.weight_codes.shape == (3, 6)
+
+    def test_export_requires_tqt(self, rng):
+        conv = nn.Conv2d(3, 4, 3, rng=rng)
+        layer = QuantizedConv2d(conv, QuantScheme(method="fake_quant", power_of_2=False),
+                                name="conv")
+        with pytest.raises(TypeError):
+            export_conv_layer(layer, input_fraction=7)
+
+
+class TestBitAccuracy:
+    def test_conv_layer_bit_accurate_no_bias(self, rng):
+        """The fake-quantized conv layer and the pure-integer execution produce
+        identical integer codes (the paper's FPGA bit-accuracy check)."""
+        layer = make_quantized_conv(rng, activation="none", bias=False)
+        x = rng.standard_normal((2, 3, 6, 6))
+        input_quantizer = make_input_quantizer(rng, x)
+        report = check_conv_bit_accuracy(layer, x, input_quantizer)
+        assert report["mismatches"] == 0
+        assert report["max_code_difference"] == 0.0
+        assert report["total"] > 0
+
+    def test_conv_layer_bit_accurate_with_relu(self, rng):
+        layer = make_quantized_conv(rng, activation="relu", bias=False)
+        x = rng.standard_normal((1, 3, 6, 6))
+        input_quantizer = make_input_quantizer(rng, x)
+        report = check_conv_bit_accuracy(layer, x, input_quantizer)
+        assert report["mismatches"] == 0
+
+    def test_integer_conv_forward_range(self, rng):
+        layer = make_quantized_conv(rng)
+        x = rng.standard_normal((1, 3, 6, 6))
+        input_quantizer = make_input_quantizer(rng, x)
+        spec = export_conv_layer(layer, int(np.asarray(input_quantizer.fractional_length)))
+        codes = input_quantizer.quantize_to_integers(x)
+        out = integer_conv_forward(spec, codes)
+        assert out.min() >= spec.output_config.qmin
+        assert out.max() <= spec.output_config.qmax
+
+    def test_integer_linear_forward(self, rng):
+        linear = nn.Linear(6, 3, bias=False, rng=rng)
+        layer = QuantizedLinear(linear, QuantScheme(weight_init="max"), name="fc")
+        layer.output_quantizer.start_calibration()
+        data = rng.standard_normal((4, 6))
+        layer(Tensor(data))
+        layer.output_quantizer.finalize_calibration()
+        input_quantizer = make_input_quantizer(rng, data)
+        spec = export_linear_layer(layer, int(np.asarray(input_quantizer.fractional_length)))
+        out = integer_linear_forward(spec, input_quantizer.quantize_to_integers(data))
+        assert out.shape == (4, 3)
+        assert out.dtype == np.int64
+
+
+class TestGraphExport:
+    def test_chain_graph_specs(self, rng, calibration_batches):
+        builder = GraphBuilder("chain")
+        x = builder.input("input")
+        x = builder.layer("conv1", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1, bias=False, rng=rng), x)
+        x = builder.layer("relu1", OpKind.RELU, nn.ReLU(), x)
+        x = builder.layer("conv2", OpKind.CONV, nn.Conv2d(4, 4, 3, padding=1, bias=False, rng=rng), x)
+        graph = builder.build(x)
+        quantize_graph(graph, QuantScheme(weight_init="max"))
+        from repro.graph import calibrate_activations
+        calibrate_activations(graph, calibration_batches)
+        specs = export_graph_specs(graph, input_fraction=7)
+        assert set(specs) == {"conv1", "conv2"}
+        # conv2 consumes conv1's output fractional length
+        assert specs["conv2"].input_fraction == specs["conv1"].output_fraction

@@ -1,0 +1,168 @@
+"""Unit tests for the graph IR and functional builder."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.graph import GraphBuilder, GraphIR, Node, OpKind
+
+
+def build_chain():
+    builder = GraphBuilder("chain")
+    x = builder.input("input")
+    x = builder.layer("conv", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1), x)
+    x = builder.layer("bn", OpKind.BATCHNORM, nn.BatchNorm2d(4), x)
+    x = builder.layer("relu", OpKind.RELU, nn.ReLU(), x)
+    return builder.build(x)
+
+
+def build_branching():
+    builder = GraphBuilder("branching")
+    x = builder.input("input")
+    a = builder.layer("conv_a", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1), x)
+    b = builder.layer("conv_b", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1), x)
+    out = builder.add("add", a, b)
+    return builder.build(out)
+
+
+class TestGraphConstruction:
+    def test_builder_produces_valid_graph(self):
+        graph = build_chain()
+        assert isinstance(graph, GraphIR)
+        assert graph.output_name == "relu"
+        assert graph.input_names == ["input"]
+        graph.validate()
+
+    def test_duplicate_node_name_rejected(self):
+        graph = build_chain()
+        with pytest.raises(ValueError):
+            graph.add_node(Node(name="conv", op=OpKind.RELU))
+
+    def test_parameters_exposed_through_graph(self):
+        graph = build_chain()
+        names = [name for name, _ in graph.named_parameters()]
+        assert any("conv" in name and "weight" in name for name in names)
+        assert any("bn" in name and "gamma" in name for name in names)
+
+    def test_missing_input_reference_fails_validation(self):
+        graph = GraphIR("broken")
+        graph.add_node(Node(name="a", op=OpKind.INPUT))
+        graph.add_node(Node(name="b", op=OpKind.RELU, module=nn.ReLU(), inputs=["missing"]))
+        graph.set_output("b")
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_output_must_be_set(self):
+        graph = GraphIR()
+        graph.add_node(Node(name="a", op=OpKind.INPUT))
+        with pytest.raises(ValueError):
+            graph.validate()
+
+
+class TestGraphQueries:
+    def test_consumers_and_producers(self):
+        graph = build_chain()
+        assert [n.name for n in graph.consumers("conv")] == ["bn"]
+        assert [n.name for n in graph.producers("bn")] == ["conv"]
+
+    def test_nodes_of_kind(self):
+        graph = build_chain()
+        assert [n.name for n in graph.nodes_of_kind(OpKind.CONV)] == ["conv"]
+
+    def test_topological_order_respects_edges(self):
+        graph = build_branching()
+        order = [n.name for n in graph.topological_order()]
+        assert order.index("input") < order.index("conv_a") < order.index("add")
+        assert order.index("conv_b") < order.index("add")
+
+    def test_cycle_detection(self):
+        graph = build_chain()
+        graph.nodes["conv"].inputs.append("relu")
+        with pytest.raises(RuntimeError):
+            graph.topological_order()
+
+
+class TestGraphMutation:
+    def test_remove_node_rewires_consumers(self):
+        graph = build_chain()
+        graph.remove_node("bn")
+        assert graph.nodes["relu"].inputs == ["conv"]
+        graph.validate()
+
+    def test_remove_output_node_moves_output(self):
+        graph = build_chain()
+        graph.remove_node("relu")
+        assert graph.output_name == "bn"
+
+    def test_remove_multi_input_node_requires_rewire_target(self):
+        graph = build_branching()
+        with pytest.raises(ValueError):
+            graph.remove_node("add")
+
+    def test_replace_node_keeps_consumers(self):
+        graph = build_chain()
+        graph.replace_node("relu", Node(name="relu", op=OpKind.RELU6, module=nn.ReLU6(),
+                                        inputs=["bn"]))
+        assert graph.nodes["relu"].op == OpKind.RELU6
+        graph.validate()
+
+    def test_replace_node_name_mismatch_rejected(self):
+        graph = build_chain()
+        with pytest.raises(ValueError):
+            graph.replace_node("relu", Node(name="other", op=OpKind.RELU))
+
+    def test_insert_after(self):
+        graph = build_chain()
+        graph.insert_after("conv", Node(name="extra", op=OpKind.IDENTITY, module=nn.Identity()))
+        assert graph.nodes["bn"].inputs == ["extra"]
+        assert graph.nodes["extra"].inputs == ["conv"]
+        graph.validate()
+
+    def test_insert_after_output_moves_output(self):
+        graph = build_chain()
+        graph.insert_after("relu", Node(name="tail", op=OpKind.IDENTITY, module=nn.Identity()))
+        assert graph.output_name == "tail"
+
+
+class TestGraphExecution:
+    def test_forward_chain(self, rng):
+        graph = build_chain()
+        out = graph(Tensor(rng.standard_normal((2, 3, 6, 6))))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_forward_branching_add(self, rng):
+        graph = build_branching()
+        out = graph(Tensor(rng.standard_normal((2, 3, 6, 6))))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_concat_without_module(self, rng):
+        builder = GraphBuilder("concat")
+        x = builder.input("input")
+        a = builder.layer("conv_a", OpKind.CONV, nn.Conv2d(3, 2, 1), x)
+        b = builder.layer("conv_b", OpKind.CONV, nn.Conv2d(3, 5, 1), x)
+        out = builder.concat("cat", [a, b], axis=1)
+        graph = builder.build(out)
+        result = graph(Tensor(rng.standard_normal((1, 3, 4, 4))))
+        assert result.shape == (1, 7, 4, 4)
+
+    def test_flatten_structural_node(self, rng):
+        builder = GraphBuilder("flatten")
+        x = builder.input("input")
+        out = builder.layer("flat", OpKind.FLATTEN, None, x, start_dim=1)
+        graph = builder.build(out)
+        result = graph(Tensor(rng.standard_normal((2, 3, 2, 2))))
+        assert result.shape == (2, 12)
+
+    def test_summary_lists_all_nodes(self):
+        graph = build_chain()
+        text = graph.summary()
+        for name in ("input", "conv", "bn", "relu"):
+            assert name in text
+
+    def test_forward_gradient_flows_to_parameters(self, rng):
+        graph = build_chain()
+        out = graph(Tensor(rng.standard_normal((2, 3, 6, 6))))
+        out.sum().backward()
+        conv = graph.nodes["conv"].module
+        assert conv.weight.grad is not None

@@ -1,0 +1,138 @@
+"""Unit tests for static and retrain quantization modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.graph import (
+    calibrate_activations,
+    collect_activation_quantizers,
+    collect_tqt_quantizers,
+    prepare_retrain,
+    quantize_graph,
+    quantize_static,
+)
+from repro.graph.transforms import run_default_optimizations
+from repro.models import build_model
+from repro.quant import INT4_PRECISION, QuantScheme
+
+
+@pytest.fixture
+def optimized_lenet(lenet_graph):
+    lenet_graph.eval()
+    run_default_optimizations(lenet_graph)
+    return lenet_graph
+
+
+class TestCalibration:
+    def test_all_activation_quantizers_calibrated(self, optimized_lenet, calibration_batches):
+        quantize_graph(optimized_lenet, QuantScheme(train_thresholds=False))
+        thresholds = calibrate_activations(optimized_lenet, calibration_batches)
+        quantizers = collect_activation_quantizers(optimized_lenet)
+        assert set(thresholds) == set(quantizers)
+        assert all(t > 0 for t in thresholds.values())
+        assert all(q.mode == "quantize" for q in quantizers.values())
+
+    def test_single_pass_calibration(self, optimized_lenet, calibration_batches):
+        quantize_graph(optimized_lenet, QuantScheme(train_thresholds=False))
+        thresholds = calibrate_activations(optimized_lenet, calibration_batches,
+                                           sequential=False)
+        assert all(t > 0 for t in thresholds.values())
+
+    def test_requires_at_least_one_batch(self, optimized_lenet):
+        quantize_graph(optimized_lenet, QuantScheme())
+        with pytest.raises(ValueError):
+            calibrate_activations(optimized_lenet, [])
+
+
+class TestStaticMode:
+    def test_static_quantization_end_to_end(self, optimized_lenet, calibration_batches, rng):
+        model = quantize_static(optimized_lenet, calibration_batches)
+        assert model.mode == "static"
+        assert not model.scheme.train_thresholds
+        assert model.scheme.weight_init == "max"
+        out = model.graph(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape[0] == 2
+
+    def test_static_copy_leaves_original_untouched(self, optimized_lenet, calibration_batches):
+        original_nodes = set(optimized_lenet.nodes)
+        quantize_static(optimized_lenet, calibration_batches, copy=True)
+        assert set(optimized_lenet.nodes) == original_nodes
+
+    def test_static_thresholds_not_trainable(self, optimized_lenet, calibration_batches):
+        model = quantize_static(optimized_lenet, calibration_batches)
+        trainable = collect_tqt_quantizers(model.graph, trainable_only=True)
+        assert len(trainable) == 0
+
+    def test_static_output_close_to_fp32_for_easy_graph(self, optimized_lenet,
+                                                        calibration_batches, rng):
+        """INT8 static quantization of a benign network is a small perturbation."""
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)))
+        with no_grad():
+            fp32_out = optimized_lenet(x).data
+        model = quantize_static(optimized_lenet, calibration_batches)
+        with no_grad():
+            int8_out = model.graph(x).data
+        scale = np.abs(fp32_out).max()
+        assert np.abs(int8_out - fp32_out).max() < 0.25 * scale
+
+
+class TestRetrainMode:
+    def test_wt_th_mode_trains_thresholds(self, optimized_lenet, calibration_batches):
+        model = prepare_retrain(optimized_lenet, calibration_batches, mode="wt,th")
+        trainable = collect_tqt_quantizers(model.graph, trainable_only=True)
+        assert len(trainable) > 0
+        assert model.scheme.weight_init == "3sd"
+
+    def test_wt_mode_keeps_thresholds_fixed(self, optimized_lenet, calibration_batches):
+        model = prepare_retrain(optimized_lenet, calibration_batches, mode="wt")
+        trainable = collect_tqt_quantizers(model.graph, trainable_only=True)
+        assert len(trainable) == 0
+        assert model.scheme.weight_init == "max"
+
+    def test_invalid_mode_rejected(self, optimized_lenet, calibration_batches):
+        with pytest.raises(ValueError):
+            prepare_retrain(optimized_lenet, calibration_batches, mode="static")
+
+    def test_int4_precision_propagates(self, optimized_lenet, calibration_batches):
+        model = prepare_retrain(optimized_lenet, calibration_batches, mode="wt,th",
+                                precision=INT4_PRECISION)
+        middle = [name for name in model.report.weight_bits
+                  if name not in (model.report.first_layer, model.report.last_layer)]
+        for name in middle:
+            assert model.report.weight_bits[name] == 4
+
+    def test_fake_quant_method(self, optimized_lenet, calibration_batches, rng):
+        model = prepare_retrain(optimized_lenet, calibration_batches, mode="wt,th",
+                                method="fake_quant")
+        out = model.graph(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape[0] == 2
+
+    def test_calibration_thresholds_recorded(self, optimized_lenet, calibration_batches):
+        model = prepare_retrain(optimized_lenet, calibration_batches, mode="wt,th")
+        assert len(model.calibration_thresholds) > 0
+
+
+class TestMobileNetStaticDegradation:
+    def test_per_tensor_static_quantization_degrades_depthwise_network(self, rng,
+                                                                        calibration_batches):
+        """The paper's headline observation (Table 3): static per-tensor INT8
+        quantization hurts depthwise-conv networks far more than plain CNNs.
+        Here we check the mechanism at the output level: the quantized/FP32
+        output disagreement is much larger for the spread-channel MobileNet
+        than for the VGG-style stack."""
+        def relative_error(name, **kwargs):
+            graph = build_model(name, num_classes=4, seed=3, **kwargs)
+            graph.eval()
+            run_default_optimizations(graph)
+            x = Tensor(rng.standard_normal((4, 3, 16, 16)))
+            with no_grad():
+                fp32 = graph(x).data
+            model = quantize_static(graph, calibration_batches)
+            with no_grad():
+                quantized = model.graph(x).data
+            return float(np.abs(quantized - fp32).mean() / (np.abs(fp32).mean() + 1e-12))
+
+        mobilenet_error = relative_error("mobilenet_v1_nano", channel_range_spread=32.0)
+        vgg_error = relative_error("vgg_nano")
+        assert mobilenet_error > vgg_error

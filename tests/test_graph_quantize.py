@@ -1,0 +1,152 @@
+"""Unit tests for the quantization-insertion pass (Section 4.3 rules)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.graph import (
+    GraphBuilder,
+    OpKind,
+    clone_graph,
+    collect_activation_quantizers,
+    collect_tqt_quantizers,
+    quantize_graph,
+    split_parameters,
+)
+from repro.graph.transforms import run_default_optimizations
+from repro.models import build_model, darknet_nano, mobilenet_v1_nano, resnet_nano
+from repro.quant import INT4_PRECISION, QuantScheme, QuantizedConv2d, QuantizedLinear
+
+
+def simple_graph(rng):
+    builder = GraphBuilder("simple")
+    x = builder.input("input")
+    x = builder.layer("conv1", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1, rng=rng), x)
+    x = builder.layer("relu1", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL, nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(4, 2, rng=rng), x)
+    return builder.build(x)
+
+
+class TestQuantizePass:
+    def test_compute_layers_replaced(self, rng):
+        graph = simple_graph(rng)
+        report = quantize_graph(graph, QuantScheme())
+        assert report.compute_layers == 2
+        assert isinstance(graph.nodes["conv1"].module, QuantizedConv2d)
+        assert isinstance(graph.nodes["fc"].module, QuantizedLinear)
+
+    def test_relu_fused_and_removed(self, rng):
+        graph = simple_graph(rng)
+        report = quantize_graph(graph, QuantScheme())
+        assert report.fused_activations == 1
+        assert "relu1" not in graph.nodes
+        assert graph.nodes["conv1"].module.activation == "relu"
+        # fused output stage is unsigned
+        assert not graph.nodes["conv1"].module.output_quantizer.impl.config.signed
+
+    def test_primary_input_quantized(self, rng):
+        graph = simple_graph(rng)
+        quantize_graph(graph, QuantScheme())
+        assert "input__quant" in graph.nodes
+        assert graph.nodes["gap"].inputs != ["input"]
+
+    def test_input_quantization_optional(self, rng):
+        graph = simple_graph(rng)
+        quantize_graph(graph, QuantScheme(), quantize_input=False)
+        assert "input__quant" not in graph.nodes
+
+    def test_first_last_layers_keep_8bit_weights_at_int4(self, rng):
+        graph = simple_graph(rng)
+        report = quantize_graph(graph, QuantScheme(precision=INT4_PRECISION))
+        assert report.weight_bits["conv1"] == 8     # first layer
+        assert report.weight_bits["fc"] == 8        # last layer
+        assert graph.nodes["conv1"].module.weight_quantizer.config.bits == 8
+
+    def test_middle_layers_get_int4_weights(self, rng):
+        graph = build_model("vgg_nano", num_classes=4, seed=0)
+        run_default_optimizations(graph)
+        report = quantize_graph(graph, QuantScheme(precision=INT4_PRECISION))
+        middle_bits = [bits for name, bits in report.weight_bits.items()
+                       if name not in (report.first_layer, report.last_layer)]
+        assert middle_bits and all(bits == 4 for bits in middle_bits)
+
+    def test_graph_without_compute_layers_rejected(self):
+        builder = GraphBuilder("empty")
+        x = builder.input("input")
+        x = builder.layer("relu", OpKind.RELU, nn.ReLU(), x)
+        graph = builder.build(x)
+        with pytest.raises(ValueError):
+            quantize_graph(graph, QuantScheme())
+
+    def test_residual_add_quantized(self, rng):
+        graph = resnet_nano(num_classes=4, seed=0)
+        run_default_optimizations(graph)
+        report = quantize_graph(graph, QuantScheme())
+        assert report.add_layers > 0
+        assert report.compute_layers > 4
+
+    def test_concat_quantized_in_inception(self, rng):
+        graph = build_model("inception_nano", num_classes=4, seed=0)
+        run_default_optimizations(graph)
+        report = quantize_graph(graph, QuantScheme())
+        assert report.concat_layers > 0
+
+    def test_leaky_relu_quantized_and_producer_bypassed(self, rng):
+        graph = darknet_nano(num_classes=4, seed=0)
+        run_default_optimizations(graph)
+        report = quantize_graph(graph, QuantScheme())
+        assert report.leaky_relu_layers > 0
+        # the compute layer feeding a leaky relu skips its own 8-bit stage
+        leaky_nodes = graph.nodes_of_kind(OpKind.QUANT_LEAKY_RELU)
+        producer_name = leaky_nodes[0].inputs[0]
+        producer = graph.nodes[producer_name]
+        assert producer.module.output_quantizer.mode == "bypass"
+
+    def test_quantized_graph_forward_runs(self, rng):
+        graph = simple_graph(rng)
+        quantize_graph(graph, QuantScheme())
+        out = graph(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 2)
+
+    def test_clone_graph_is_independent(self, rng):
+        graph = simple_graph(rng)
+        copy = clone_graph(graph)
+        copy.nodes["conv1"].module.weight.data[...] = 0.0
+        assert not np.allclose(graph.nodes["conv1"].module.weight.data, 0.0)
+
+
+class TestIntrospection:
+    def test_collect_activation_quantizers(self, rng):
+        graph = simple_graph(rng)
+        quantize_graph(graph, QuantScheme())
+        activations = collect_activation_quantizers(graph)
+        assert len(activations) >= 3   # conv output, fc output, input, (+ internal)
+
+    def test_collect_tqt_quantizers_trainable_filter(self, rng):
+        graph = simple_graph(rng)
+        quantize_graph(graph, QuantScheme(train_thresholds=True))
+        all_quantizers = collect_tqt_quantizers(graph)
+        trainable = collect_tqt_quantizers(graph, trainable_only=True)
+        assert len(trainable) < len(all_quantizers)   # bias/internal quantizers are fixed
+        assert len(trainable) >= 3
+
+    def test_split_parameters_separates_thresholds(self, rng):
+        graph = simple_graph(rng)
+        quantize_graph(graph, QuantScheme())
+        weights, thresholds = split_parameters(graph)
+        weight_ids = {id(p) for p in weights}
+        threshold_ids = {id(p) for p in thresholds}
+        assert weight_ids.isdisjoint(threshold_ids)
+        assert len(thresholds) >= 3
+        # conv weights are in the weight group
+        conv_weight = graph.nodes["conv1"].module.conv.weight
+        assert id(conv_weight) in weight_ids
+
+    def test_split_parameters_on_mobilenet(self, rng):
+        graph = mobilenet_v1_nano(num_classes=4, seed=0)
+        run_default_optimizations(graph)
+        quantize_graph(graph, QuantScheme())
+        weights, thresholds = split_parameters(graph)
+        assert len(weights) > 10 and len(thresholds) > 10

@@ -1,0 +1,201 @@
+"""Unit tests for the graph optimization transforms (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+from repro.graph import GraphBuilder, OpKind
+from repro.graph.transforms import (
+    avgpool_to_depthwise_conv,
+    collapse_concats,
+    find_scale_merge_groups,
+    fold_batch_norms,
+    run_default_optimizations,
+    splice_identities,
+)
+
+
+def conv_bn_relu_graph(rng):
+    builder = GraphBuilder("cbr")
+    x = builder.input("input")
+    conv = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+    bn = nn.BatchNorm2d(4)
+    bn.gamma.data[...] = rng.uniform(0.5, 2.0, 4)
+    bn.beta.data[...] = rng.standard_normal(4)
+    bn.set_buffer("running_mean", rng.standard_normal(4))
+    bn.set_buffer("running_var", rng.uniform(0.5, 2.0, 4))
+    x = builder.layer("conv", OpKind.CONV, conv, x)
+    x = builder.layer("bn", OpKind.BATCHNORM, bn, x)
+    x = builder.layer("relu", OpKind.RELU, nn.ReLU(), x)
+    return builder.build(x)
+
+
+class TestBatchNormFolding:
+    def test_fold_removes_bn_and_preserves_inference_output(self, rng):
+        graph = conv_bn_relu_graph(rng)
+        graph.eval()
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        with no_grad():
+            before = graph(x).data
+        folded = fold_batch_norms(graph)
+        assert folded == 1
+        assert not graph.nodes_of_kind(OpKind.BATCHNORM)
+        with no_grad():
+            after = graph(x).data
+        np.testing.assert_allclose(after, before, atol=1e-9)
+
+    def test_fold_creates_bias_when_absent(self, rng):
+        builder = GraphBuilder("nobias")
+        x = builder.input("input")
+        conv = nn.Conv2d(3, 4, 3, padding=1, bias=False, rng=rng)
+        x = builder.layer("conv", OpKind.CONV, conv, x)
+        x = builder.layer("bn", OpKind.BATCHNORM, nn.BatchNorm2d(4), x)
+        graph = builder.build(x)
+        fold_batch_norms(graph)
+        assert graph.nodes["conv"].module.bias is not None
+
+    def test_no_fold_when_conv_has_other_consumers(self, rng):
+        builder = GraphBuilder("branchy")
+        x = builder.input("input")
+        conv = builder.layer("conv", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1, rng=rng), x)
+        bn = builder.layer("bn", OpKind.BATCHNORM, nn.BatchNorm2d(4), conv)
+        out = builder.add("add", bn, conv)   # conv feeds both bn and add
+        graph = builder.build(out)
+        assert fold_batch_norms(graph) == 0
+
+    def test_fold_into_linear(self, rng):
+        builder = GraphBuilder("linbn")
+        x = builder.input("input")
+        x = builder.layer("fc", OpKind.LINEAR, nn.Linear(4, 3, rng=rng), x)
+        x = builder.layer("bn", OpKind.BATCHNORM, nn.BatchNorm2d(3), x)
+        graph = builder.build(x)
+        assert fold_batch_norms(graph) == 1
+
+    def test_fold_depthwise_conv(self, rng):
+        builder = GraphBuilder("dwbn")
+        x = builder.input("input")
+        dw = nn.DepthwiseConv2d(4, 3, padding=1, rng=rng)
+        x = builder.layer("dw", OpKind.DEPTHWISE_CONV, dw, x)
+        x = builder.layer("bn", OpKind.BATCHNORM, nn.BatchNorm2d(4), x)
+        graph = builder.build(x)
+        graph.eval()
+        inp = Tensor(rng.standard_normal((1, 4, 5, 5)))
+        with no_grad():
+            before = graph(inp).data
+        assert fold_batch_norms(graph) == 1
+        with no_grad():
+            after = graph(inp).data
+        np.testing.assert_allclose(after, before, atol=1e-9)
+
+
+class TestSpliceIdentity:
+    def test_removes_identity_and_dropout(self, rng):
+        builder = GraphBuilder("idgraph")
+        x = builder.input("input")
+        x = builder.layer("conv", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1, rng=rng), x)
+        x = builder.layer("ident", OpKind.IDENTITY, nn.Identity(), x)
+        x = builder.layer("drop", OpKind.DROPOUT, nn.Identity(), x)
+        x = builder.layer("relu", OpKind.RELU, nn.ReLU(), x)
+        graph = builder.build(x)
+        removed = splice_identities(graph)
+        assert removed == 2
+        assert graph.nodes["relu"].inputs == ["conv"]
+        graph.validate()
+
+    def test_forward_unchanged_after_splice(self, rng):
+        builder = GraphBuilder("idgraph2")
+        x = builder.input("input")
+        x = builder.layer("conv", OpKind.CONV, nn.Conv2d(3, 4, 3, padding=1, rng=rng), x)
+        x = builder.layer("ident", OpKind.IDENTITY, nn.Identity(), x)
+        graph = builder.build(x)
+        inp = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        with no_grad():
+            before = graph(inp).data
+        splice_identities(graph)
+        with no_grad():
+            after = graph(inp).data
+        np.testing.assert_allclose(after, before)
+
+
+class TestCollapseConcat:
+    def test_nested_concat_collapsed(self, rng):
+        builder = GraphBuilder("catcat")
+        x = builder.input("input")
+        a = builder.layer("conv_a", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        b = builder.layer("conv_b", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        c = builder.layer("conv_c", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        inner = builder.concat("inner", [a, b], axis=1)
+        outer = builder.concat("outer", [inner, c], axis=1)
+        graph = builder.build(outer)
+        inp = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        with no_grad():
+            before = graph(inp).data
+        assert collapse_concats(graph) == 1
+        assert graph.nodes["outer"].inputs == ["conv_a", "conv_b", "conv_c"]
+        assert "inner" not in graph.nodes
+        with no_grad():
+            after = graph(inp).data
+        np.testing.assert_allclose(after, before)
+
+    def test_concat_with_other_consumers_not_collapsed(self, rng):
+        builder = GraphBuilder("catkeep")
+        x = builder.input("input")
+        a = builder.layer("conv_a", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        b = builder.layer("conv_b", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        inner = builder.concat("inner", [a, b], axis=1)
+        extra = builder.layer("relu", OpKind.RELU, nn.ReLU(), inner)
+        outer = builder.concat("outer", [inner, extra], axis=1)
+        graph = builder.build(outer)
+        assert collapse_concats(graph) == 0
+
+
+class TestAvgPoolRewrite:
+    def test_avgpool_becomes_depthwise_conv_with_same_output(self, rng):
+        builder = GraphBuilder("pool")
+        x = builder.input("input")
+        x = builder.layer("pool", OpKind.AVGPOOL, nn.AvgPool2d(2), x)
+        graph = builder.build(x)
+        inp = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        with no_grad():
+            before = graph(inp).data
+        rewritten = avgpool_to_depthwise_conv(graph, {"pool": 3})
+        assert rewritten == 1
+        node = graph.nodes["pool"]
+        assert node.op == OpKind.DEPTHWISE_CONV
+        assert node.attrs["reciprocal_avgpool"]
+        np.testing.assert_allclose(node.module.weight.data, 0.25)
+        with no_grad():
+            after = graph(inp).data
+        np.testing.assert_allclose(after, before, atol=1e-10)
+
+    def test_skipped_without_channel_hint(self, rng):
+        builder = GraphBuilder("pool2")
+        x = builder.input("input")
+        x = builder.layer("pool", OpKind.AVGPOOL, nn.AvgPool2d(2), x)
+        graph = builder.build(x)
+        assert avgpool_to_depthwise_conv(graph, {}) == 0
+
+
+class TestScaleMergeAnalysis:
+    def test_add_and_concat_groups_found(self, rng):
+        builder = GraphBuilder("merge")
+        x = builder.input("input")
+        a = builder.layer("conv_a", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        b = builder.layer("conv_b", OpKind.CONV, nn.Conv2d(3, 2, 1, rng=rng), x)
+        s = builder.add("sum", a, b)
+        c = builder.concat("cat", [s, a], axis=1)
+        graph = builder.build(c)
+        groups = find_scale_merge_groups(graph)
+        consumers = {g.consumer: g.members for g in groups}
+        assert consumers["sum"] == ("conv_a", "conv_b")
+        assert consumers["cat"] == ("sum", "conv_a")
+
+
+class TestDefaultPipeline:
+    def test_report_counts(self, rng):
+        graph = conv_bn_relu_graph(rng)
+        report = run_default_optimizations(graph)
+        assert report["batch_norms_folded"] == 1
+        assert report["identities_spliced"] == 0
+        graph.validate()

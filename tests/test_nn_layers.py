@@ -1,0 +1,165 @@
+"""Unit tests for nn layers: conv, linear, batch norm, pooling, containers, losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class TestConvLayers:
+    def test_conv2d_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv2d_no_bias(self, rng):
+        conv = nn.Conv2d(3, 4, 3, bias=False, rng=rng)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_depthwise_conv_groups(self, rng):
+        conv = nn.DepthwiseConv2d(6, 3, padding=1, rng=rng)
+        assert conv.groups == 6
+        assert conv.weight.shape == (6, 1, 3, 3)
+        out = conv(Tensor(rng.standard_normal((1, 6, 5, 5))))
+        assert out.shape == (1, 6, 5, 5)
+
+    def test_linear_shapes_and_bias(self, rng):
+        linear = nn.Linear(10, 5, rng=rng)
+        out = linear(Tensor(rng.standard_normal((3, 10))))
+        assert out.shape == (3, 5)
+
+    def test_conv_weights_have_reasonable_scale(self, rng):
+        conv = nn.Conv2d(16, 16, 3, rng=rng)
+        std = conv.weight.data.std()
+        expected = np.sqrt(2.0 / (16 * 9))
+        assert 0.5 * expected < std < 2.0 * expected
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_statistics(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)) * 3.0 + 2.0)
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-6
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_running_stats_updated_in_training(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)) + 10.0)
+        bn(x)
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)) + 5.0)
+        out = bn(x)
+        # with default running stats (mean 0, var 1) output equals input up to
+        # the eps term in the denominator (gamma=1, beta=0)
+        np.testing.assert_allclose(out.data, x.data / np.sqrt(1.0 + bn.eps), atol=1e-9)
+
+    def test_freeze_statistics(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.freeze_statistics()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.standard_normal((4, 2, 3, 3)) + 5.0))
+        np.testing.assert_allclose(bn.running_mean, before)
+
+    def test_effective_scale_offset_matches_eval_forward(self, rng):
+        bn = nn.BatchNorm2d(3)
+        bn.gamma.data[...] = rng.uniform(0.5, 2.0, 3)
+        bn.beta.data[...] = rng.standard_normal(3)
+        bn.set_buffer("running_mean", rng.standard_normal(3))
+        bn.set_buffer("running_var", rng.uniform(0.5, 2.0, 3))
+        bn.eval()
+        x = rng.standard_normal((2, 3, 4, 4))
+        expected = bn(Tensor(x)).data
+        scale, offset = bn.effective_scale_offset()
+        manual = x * scale.reshape(1, 3, 1, 1) + offset.reshape(1, 3, 1, 1)
+        np.testing.assert_allclose(manual, expected, atol=1e-9)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(np.zeros((2, 3))))
+
+
+class TestActivationsAndPooling:
+    def test_relu6_module(self):
+        out = nn.ReLU6()(Tensor(np.array([-1.0, 3.0, 9.0])))
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_leaky_relu_module(self):
+        out = nn.LeakyReLU(0.2)(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [-0.2, 2.0])
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+    def test_maxpool_module(self, rng):
+        out = nn.MaxPool2d(2)(Tensor(rng.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_avgpool_module(self, rng):
+        out = nn.AvgPool2d(3, stride=1, padding=1)(Tensor(rng.standard_normal((1, 2, 4, 4))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_global_avgpool_and_flatten(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        pooled = nn.GlobalAvgPool2d(keepdims=False)(x)
+        assert pooled.shape == (2, 3)
+        flat = nn.Flatten()(Tensor(rng.standard_normal((2, 3, 4, 4))))
+        assert flat.shape == (2, 48)
+
+
+class TestContainers:
+    def test_sequential_runs_in_order(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(keepdims=False),
+            nn.Linear(4, 2, rng=rng),
+        )
+        out = model(Tensor(rng.standard_normal((2, 3, 6, 6))))
+        assert out.shape == (2, 2)
+        assert len(model) == 4
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_sequential_registers_parameters(self, rng):
+        model = nn.Sequential(nn.Linear(3, 3, rng=rng), nn.Linear(3, 2, rng=rng))
+        assert len(model.parameters()) == 4
+
+    def test_module_list(self, rng):
+        modules = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(modules) == 3
+        assert len(modules.parameters()) == 6
+        with pytest.raises(RuntimeError):
+            modules(Tensor(np.zeros((1, 2))))
+
+    def test_add_and_concat_modules(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        b = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        np.testing.assert_allclose(nn.Add()(a, b).data, a.data + b.data)
+        out = nn.Concat(axis=1)([a, b])
+        assert out.shape == (2, 6, 4, 4)
+
+
+class TestLosses:
+    def test_cross_entropy_module(self, rng):
+        loss = nn.CrossEntropyLoss()(Tensor(rng.standard_normal((4, 6))),
+                                     np.array([0, 1, 2, 3]))
+        assert loss.data.size == 1 and loss.item() > 0
+
+    def test_mse_module(self):
+        loss = nn.MSELoss()(Tensor(np.array([1.0, 2.0])), Tensor(np.array([1.0, 0.0])))
+        np.testing.assert_allclose(loss.item(), 2.0)
+
+    def test_l2_regularization(self, rng):
+        params = [nn.Parameter(np.array([1.0, 2.0])), nn.Parameter(np.array([3.0]))]
+        reg = nn.l2_regularization(params, 0.1)
+        np.testing.assert_allclose(reg.item(), 0.1 * (1 + 4 + 9))
+
+    def test_l2_regularization_empty(self):
+        assert nn.l2_regularization([], 0.1).item() == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for Module / Parameter infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class Block(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = nn.Linear(4, 3)
+        self.scale = nn.Parameter(np.ones(3))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        block = Block()
+        names = [name for name, _ in block.named_parameters()]
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_modules_traversal(self):
+        block = Block()
+        names = [name for name, _ in block.named_modules()]
+        assert "" in names and "linear" in names
+
+    def test_children(self):
+        block = Block()
+        assert len(block.children()) == 1
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(4)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_reassigning_parameter_keeps_single_entry(self):
+        block = Block()
+        block.scale = nn.Parameter(np.zeros(3))
+        assert sum(1 for name, _ in block.named_parameters() if name == "scale") == 1
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        block = Block()
+        block.eval()
+        assert not block.training and not block.linear.training
+        block.train()
+        assert block.training and block.linear.training
+
+    def test_zero_grad(self):
+        block = Block()
+        out = block(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert block.linear.weight.grad is not None
+        block.zero_grad()
+        assert block.linear.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        src, dst = Block(), Block()
+        src.linear.weight.data[...] = 7.0
+        dst.load_state_dict(src.state_dict())
+        np.testing.assert_allclose(dst.linear.weight.data, 7.0)
+
+    def test_missing_key_raises_in_strict_mode(self):
+        block = Block()
+        state = block.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            block.load_state_dict(state, strict=True)
+
+    def test_non_strict_allows_missing(self):
+        block = Block()
+        block.load_state_dict({}, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        block = Block()
+        state = block.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            block.load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(2)
+        bn.set_buffer("running_mean", np.array([1.0, 2.0]))
+        restored = nn.BatchNorm2d(2)
+        restored.load_state_dict(bn.state_dict())
+        np.testing.assert_allclose(restored.running_mean, [1.0, 2.0])
+
+
+class TestForwardProtocol:
+    def test_call_invokes_forward(self):
+        block = Block()
+        out = block(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_base_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module().forward()

@@ -1,0 +1,143 @@
+"""Unit tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.optim import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    ExponentialDecay,
+    NormedSGD,
+    ParamGroup,
+    RMSProp,
+    StepDecay,
+    paper_threshold_schedule,
+    paper_weight_schedule,
+)
+
+
+def quadratic_loss(param: nn.Parameter, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_optimizer(optimizer_cls, steps=200, **kwargs) -> float:
+    param = nn.Parameter(np.array([5.0, -3.0]))
+    target = np.array([1.0, 2.0])
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(param.data - target).max())
+
+
+class TestOptimizersConverge:
+    def test_sgd_converges_on_quadratic(self):
+        assert run_optimizer(SGD, lr=0.1) < 1e-3
+
+    def test_sgd_with_momentum(self):
+        assert run_optimizer(SGD, lr=0.05, momentum=0.9) < 1e-3
+
+    def test_adam_converges(self):
+        assert run_optimizer(Adam, lr=0.1, steps=400) < 1e-2
+
+    def test_rmsprop_converges(self):
+        assert run_optimizer(RMSProp, lr=0.05, steps=400) < 1e-2
+
+    def test_normed_sgd_converges(self):
+        assert run_optimizer(NormedSGD, lr=0.05, steps=500) < 0.06
+
+
+class TestOptimizerMechanics:
+    def test_step_skips_parameters_without_grad(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_weight_decay_shrinks_weights(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_zero_grad_clears_all_groups(self):
+        p1, p2 = nn.Parameter(np.ones(1)), nn.Parameter(np.ones(1))
+        p1.grad, p2.grad = np.ones(1), np.ones(1)
+        optimizer = Adam([ParamGroup([p1], lr=0.1), ParamGroup([p2], lr=0.2)], lr=0.1)
+        optimizer.zero_grad()
+        assert p1.grad is None and p2.grad is None
+
+    def test_param_groups_use_their_own_lr(self):
+        p_fast = nn.Parameter(np.array([1.0]))
+        p_slow = nn.Parameter(np.array([1.0]))
+        optimizer = SGD([ParamGroup([p_fast], lr=0.5), ParamGroup([p_slow], lr=0.01)], lr=0.5)
+        p_fast.grad = np.ones(1)
+        p_slow.grad = np.ones(1)
+        optimizer.step()
+        assert abs(1.0 - p_fast.data[0]) > abs(1.0 - p_slow.data[0])
+
+    def test_adam_gradient_norming_is_scale_invariant(self):
+        """Adam's first update is ~lr regardless of gradient magnitude —
+        the property the paper relies on for threshold training."""
+        updates = []
+        for scale in (1e-3, 1e3):
+            param = nn.Parameter(np.array([0.0]))
+            optimizer = Adam([param], lr=0.01)
+            param.grad = np.array([scale])
+            optimizer.step()
+            updates.append(abs(param.data[0]))
+        np.testing.assert_allclose(updates[0], updates[1], rtol=1e-5)
+
+    def test_normed_sgd_bounded_update(self):
+        """Eq. 18: with tanh clipping a single update is bounded by the LR."""
+        param = nn.Parameter(np.array([0.0]))
+        optimizer = NormedSGD([param], lr=0.1, clip=True)
+        param.grad = np.array([1e6])
+        optimizer.step()
+        assert abs(param.data[0]) <= 0.1 + 1e-12
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule()(0.1, 1000) == 0.1
+
+    def test_exponential_staircase(self):
+        schedule = ExponentialDecay(decay_rate=0.5, decay_steps=100, staircase=True)
+        assert schedule(1.0, 99) == 1.0
+        assert schedule(1.0, 100) == 0.5
+        assert schedule(1.0, 250) == 0.25
+
+    def test_exponential_smooth(self):
+        schedule = ExponentialDecay(decay_rate=0.5, decay_steps=100, staircase=False)
+        assert 0.5 < schedule(1.0, 50) < 1.0
+
+    def test_exponential_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.5, 0)
+
+    def test_step_decay(self):
+        schedule = StepDecay([10, 20], [0.1, 0.01])
+        assert schedule(1.0, 5) == 1.0
+        assert schedule(1.0, 15) == 0.1
+        assert schedule(1.0, 25) == 0.01
+
+    def test_paper_schedules_scale_with_batch_size(self):
+        # Larger batches decay sooner (fewer steps per epoch).
+        small = paper_weight_schedule(batch_size=24)
+        large = paper_weight_schedule(batch_size=48)
+        assert large.decay_steps < small.decay_steps
+        th = paper_threshold_schedule(batch_size=24)
+        assert th.decay_rate == 0.5 and th.decay_steps == 1000
+
+    def test_schedule_applied_through_param_group(self):
+        group = ParamGroup([nn.Parameter(np.ones(1))], lr=1.0,
+                           schedule=ExponentialDecay(0.1, 10))
+        assert group.learning_rate(5) == 1.0
+        assert group.learning_rate(10) == pytest.approx(0.1)

@@ -1,0 +1,59 @@
+"""Unit tests for quantizer configuration objects."""
+
+import pytest
+
+from repro.quant import INT4_PRECISION, INT8_PRECISION, LayerPrecision, QuantConfig
+
+
+class TestQuantConfig:
+    def test_signed_range(self):
+        config = QuantConfig(bits=8, signed=True)
+        assert config.qmin == -128 and config.qmax == 127
+        assert config.levels == 128
+
+    def test_unsigned_range(self):
+        config = QuantConfig(bits=8, signed=False)
+        assert config.qmin == 0 and config.qmax == 255
+        assert config.levels == 256
+
+    def test_4bit_ranges(self):
+        config = QuantConfig(bits=4)
+        assert (config.qmin, config.qmax) == (-8, 7)
+
+    def test_rejects_bad_bitwidth(self):
+        with pytest.raises(ValueError):
+            QuantConfig(bits=1)
+        with pytest.raises(ValueError):
+            QuantConfig(bits=64)
+
+    def test_asymmetric_power_of_2_rejected(self):
+        with pytest.raises(ValueError):
+            QuantConfig(symmetric=False, power_of_2=True)
+
+    def test_with_bits_and_signedness_helpers(self):
+        config = QuantConfig(bits=8)
+        assert config.with_bits(4).bits == 4
+        assert not config.as_unsigned().signed
+        assert config.as_unsigned().as_signed().signed
+
+    def test_frozen(self):
+        config = QuantConfig()
+        with pytest.raises(Exception):
+            config.bits = 4
+
+
+class TestLayerPrecision:
+    def test_int8_and_int4_presets(self):
+        assert INT8_PRECISION.weight_bits == 8 and INT8_PRECISION.activation_bits == 8
+        assert INT4_PRECISION.weight_bits == 4 and INT4_PRECISION.activation_bits == 8
+
+    def test_name(self):
+        assert INT8_PRECISION.name == "W8A8"
+        assert LayerPrecision(4, 8).name == "W4A8"
+
+    def test_internal_precisions_default_to_16(self):
+        assert INT8_PRECISION.bias_bits == 16
+        assert INT8_PRECISION.internal_bits == 16
+
+    def test_first_last_layer_floor(self):
+        assert INT4_PRECISION.min_first_last_weight_bits == 8

@@ -1,0 +1,95 @@
+"""Unit tests for the incremental threshold-freezing controller."""
+
+import numpy as np
+import pytest
+
+from repro.quant import FreezingPolicy, QuantConfig, ThresholdFreezer, TQTQuantizer
+
+
+def make_quantizers(count=3):
+    return {f"q{i}": TQTQuantizer(QuantConfig(bits=8), init_log2_t=float(i) + 0.3)
+            for i in range(count)}
+
+
+class TestFreezingPolicy:
+    def test_batch_size_scaling(self):
+        policy = FreezingPolicy.from_batch_size(batch_size=24)
+        assert policy.start_step == 1000
+        half_batch = FreezingPolicy.from_batch_size(batch_size=12)
+        assert half_batch.start_step == 2000
+
+    def test_defaults(self):
+        policy = FreezingPolicy()
+        assert policy.interval == 50 and policy.enabled
+
+
+class TestThresholdFreezer:
+    def test_nothing_freezes_before_start(self):
+        quantizers = make_quantizers()
+        freezer = ThresholdFreezer(quantizers, FreezingPolicy(start_step=100, interval=10))
+        for q in quantizers.values():
+            q.log2_t.grad = np.asarray(0.1)
+        freezer.observe()
+        assert freezer.step(50) is None
+        assert freezer.num_frozen == 0
+
+    def test_one_freeze_per_interval(self):
+        quantizers = make_quantizers()
+        freezer = ThresholdFreezer(quantizers, FreezingPolicy(start_step=10, interval=5))
+        for q in quantizers.values():
+            q.log2_t.grad = np.asarray(0.1)
+        freezer.observe()
+        assert freezer.step(10) is not None
+        assert freezer.step(11) is None           # off-interval step
+        assert freezer.step(15) is not None
+        assert freezer.num_frozen == 2
+
+    def test_smallest_gradient_frozen_first(self):
+        quantizers = make_quantizers()
+        freezer = ThresholdFreezer(quantizers, FreezingPolicy(start_step=1, interval=1))
+        grads = {"q0": 0.5, "q1": 0.01, "q2": 0.2}
+        for name, q in quantizers.items():
+            q.log2_t.grad = np.asarray(grads[name])
+        freezer.observe()
+        assert freezer.step(1) == "q1"
+        assert quantizers["q1"].frozen
+
+    def test_wrong_side_of_integer_bin_not_frozen(self):
+        quantizers = make_quantizers(1)
+        freezer = ThresholdFreezer(quantizers, FreezingPolicy(start_step=1, interval=1,
+                                                              ema_decay=0.9))
+        q = quantizers["q0"]
+        q.log2_t.grad = np.asarray(0.01)
+        freezer.observe()                      # EMA at 0.3 (bin 1)
+        q.log2_t.data[...] = -0.4              # current value crosses to bin 0
+        q.log2_t.grad = np.asarray(0.01)
+        freezer.observe()                      # EMA (0.23) still in bin 1
+        assert freezer.step(1) is None
+
+    def test_frozen_quantizer_not_refrozen(self):
+        quantizers = make_quantizers(1)
+        freezer = ThresholdFreezer(quantizers, FreezingPolicy(start_step=1, interval=1))
+        quantizers["q0"].log2_t.grad = np.asarray(0.1)
+        freezer.observe()
+        assert freezer.step(1) == "q0"
+        freezer.observe()
+        assert freezer.step(2) is None
+        assert freezer.all_frozen()
+
+    def test_disabled_policy(self):
+        quantizers = make_quantizers(1)
+        freezer = ThresholdFreezer(quantizers, FreezingPolicy(start_step=1, interval=1,
+                                                              enabled=False))
+        quantizers["q0"].log2_t.grad = np.asarray(0.1)
+        freezer.observe()
+        assert freezer.step(1) is None
+
+    def test_untrainable_quantizers_not_tracked(self):
+        quantizers = {"fixed": TQTQuantizer(QuantConfig(bits=8), trainable=False),
+                      "learned": TQTQuantizer(QuantConfig(bits=8), trainable=True)}
+        freezer = ThresholdFreezer(quantizers)
+        assert freezer.num_tracked == 1
+
+    def test_accepts_list_of_quantizers(self):
+        freezer = ThresholdFreezer([TQTQuantizer(QuantConfig(bits=8), name="a")])
+        assert freezer.num_tracked == 1

@@ -1,0 +1,209 @@
+"""Unit tests for the TQT quantizer: forward (Eq. 4) and gradients (Eqs. 6-8)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.quant import QuantConfig, TQTQuantizer, compute_scale, tqt_quantize, tqt_quantize_unfused
+
+LN2 = np.log(2.0)
+
+
+def reference_gradients(x, log2_t, config):
+    """Direct implementation of Eqs. 6-8 used as the oracle."""
+    s = compute_scale(log2_t, config)
+    scaled = x / s
+    rounded = np.rint(scaled)
+    below = rounded < config.qmin
+    above = rounded > config.qmax
+    inside = ~(below | above)
+    grad_x = inside.astype(float)
+    per_elem = np.where(inside, rounded - scaled,
+                        np.where(below, config.qmin, config.qmax))
+    grad_t = s * LN2 * per_elem
+    return grad_x, grad_t
+
+
+class TestForwardPass:
+    def test_scale_is_power_of_two(self):
+        config = QuantConfig(bits=8)
+        for log2_t in (-3.2, -0.5, 0.0, 1.7, 4.0):
+            s = compute_scale(log2_t, config)
+            assert np.isclose(np.log2(s), np.round(np.log2(s)))
+
+    def test_scale_formula_signed(self):
+        config = QuantConfig(bits=8, signed=True)
+        # threshold t = 1.0 -> ceil(log2 t) = 0 -> s = 1 / 2^(b-1)
+        assert compute_scale(0.0, config) == pytest.approx(1 / 128)
+
+    def test_scale_formula_unsigned(self):
+        config = QuantConfig(bits=8, signed=False)
+        assert compute_scale(0.0, config) == pytest.approx(1 / 256)
+
+    def test_ceil_biases_scale_upward(self):
+        config = QuantConfig(bits=8)
+        # log2 t = 0.1 should round the threshold up to 2^1
+        assert compute_scale(0.1, config) == pytest.approx(2 / 128)
+
+    def test_output_is_multiple_of_scale(self, rng):
+        config = QuantConfig(bits=8)
+        x = Tensor(rng.standard_normal(1000))
+        out = tqt_quantize(x, Tensor(np.asarray(0.0)), config)
+        s = compute_scale(0.0, config)
+        codes = out.data / s
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_saturation_limits(self, rng):
+        config = QuantConfig(bits=4)
+        x = Tensor(np.array([100.0, -100.0]))
+        out = tqt_quantize(x, Tensor(np.asarray(0.0)), config)
+        s = compute_scale(0.0, config)
+        np.testing.assert_allclose(out.data, [config.qmax * s, config.qmin * s])
+
+    def test_unsigned_never_negative(self, rng):
+        config = QuantConfig(bits=8, signed=False)
+        x = Tensor(rng.standard_normal(100))
+        out = tqt_quantize(x, Tensor(np.asarray(0.0)), config)
+        assert np.all(out.data >= 0)
+
+    def test_banker_rounding_in_forward(self):
+        config = QuantConfig(bits=8)
+        s = compute_scale(0.0, config)
+        # values exactly half-way between grid points round to even codes
+        x = Tensor(np.array([0.5 * s, 1.5 * s, 2.5 * s]))
+        out = tqt_quantize(x, Tensor(np.asarray(0.0)), config)
+        np.testing.assert_allclose(out.data / s, [0.0, 2.0, 2.0])
+
+    def test_quantization_error_bounded_by_half_scale(self, rng):
+        config = QuantConfig(bits=8)
+        x_values = rng.uniform(-0.9, 0.9, 500)  # inside threshold 1.0
+        out = tqt_quantize(Tensor(x_values), Tensor(np.asarray(0.0)), config)
+        assert np.max(np.abs(out.data - x_values)) <= compute_scale(0.0, config) / 2 + 1e-12
+
+    def test_real_scaling_mode(self, rng):
+        config = QuantConfig(bits=8, power_of_2=False)
+        # without the ceil, threshold 0.75 maps to s = 0.75/128 (not a power of 2)
+        s = compute_scale(np.log2(0.75), config)
+        assert s == pytest.approx(0.75 / 128)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("bits,signed", [(8, True), (4, True), (8, False), (3, True)])
+    def test_gradients_match_equations(self, rng, bits, signed):
+        config = QuantConfig(bits=bits, signed=signed)
+        x_values = rng.standard_normal(300) * 2.0
+        log2_t = -0.7
+        x = Tensor(x_values, requires_grad=True)
+        t = Tensor(np.asarray(log2_t), requires_grad=True)
+        out = tqt_quantize(x, t, config)
+        upstream = rng.standard_normal(300)
+        out.backward(upstream)
+        ref_gx, ref_gt = reference_gradients(x_values, log2_t, config)
+        np.testing.assert_allclose(x.grad, upstream * ref_gx, atol=1e-12)
+        np.testing.assert_allclose(float(t.grad), float((upstream * ref_gt).sum()), rtol=1e-9)
+
+    def test_threshold_gradient_sign_inside_vs_outside(self, rng):
+        """Figure 2: inputs inside the clipping range push the threshold down
+        (positive gradient of the L2 loss), inputs outside push it up."""
+        config = QuantConfig(bits=8)
+
+        def l2_threshold_grad(x_values, log2_t):
+            x = Tensor(x_values)
+            t = Tensor(np.asarray(log2_t), requires_grad=True)
+            q = tqt_quantize(x, t, config)
+            diff = q - Tensor(x_values)
+            ((diff * diff) * 0.5).sum().backward()
+            return float(t.grad)
+
+        inside = rng.uniform(-0.5, 0.5, 2000)      # well inside threshold 2^2
+        outside = rng.uniform(6.0, 10.0, 2000) * np.sign(rng.standard_normal(2000))
+        assert l2_threshold_grad(inside, 2.0) > 0      # favours precision: log2 t decreases
+        assert l2_threshold_grad(outside, 2.0) < 0     # favours range: log2 t increases
+
+    def test_input_gradient_zero_outside_clipping_range(self):
+        config = QuantConfig(bits=8)
+        x = Tensor(np.array([0.1, 50.0, -50.0]), requires_grad=True)
+        out = tqt_quantize(x, Tensor(np.asarray(0.0)), config)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 0.0])
+
+    def test_fused_and_unfused_agree(self, rng):
+        config = QuantConfig(bits=6)
+        x_values = rng.standard_normal(200) * 3
+        for log2_t in (-2.3, 0.0, 1.1):
+            x1 = Tensor(x_values, requires_grad=True)
+            t1 = Tensor(np.asarray(log2_t), requires_grad=True)
+            out1 = tqt_quantize(x1, t1, config)
+            out1.sum().backward()
+            x2 = Tensor(x_values, requires_grad=True)
+            t2 = Tensor(np.asarray(log2_t), requires_grad=True)
+            out2 = tqt_quantize_unfused(x2, t2, config)
+            out2.sum().backward()
+            np.testing.assert_allclose(out1.data, out2.data, atol=1e-12)
+            np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-12)
+            np.testing.assert_allclose(t1.grad, t2.grad, rtol=1e-9)
+
+    def test_per_channel_threshold_gradients_reduce_per_channel(self, rng):
+        config = QuantConfig(bits=8)
+        x = Tensor(rng.standard_normal((4, 3, 3, 3)), requires_grad=True)
+        t = Tensor(np.zeros(4), requires_grad=True)
+        out = tqt_quantize(x, t, config, channel_axis=0)
+        out.sum().backward()
+        assert t.grad.shape == (4,)
+
+
+class TestTQTQuantizerModule:
+    def test_threshold_and_scale_properties(self):
+        q = TQTQuantizer(QuantConfig(bits=8), init_log2_t=2.0)
+        assert q.threshold == pytest.approx(4.0)
+        assert q.scale == pytest.approx(4.0 / 128)
+        assert q.fractional_length == 5  # s = 2^-5
+
+    def test_initialize_from_raw_threshold(self):
+        q = TQTQuantizer(QuantConfig(bits=8))
+        q.initialize_from(0.37)
+        assert float(q.log2_t.data) == pytest.approx(np.log2(0.37))
+        assert q.calibrated
+
+    def test_initialize_from_zero_is_safe(self):
+        q = TQTQuantizer(QuantConfig(bits=8))
+        q.initialize_from(0.0)
+        assert np.isfinite(float(q.log2_t.data))
+
+    def test_freeze_unfreeze(self):
+        q = TQTQuantizer(QuantConfig(bits=8), trainable=True)
+        q.freeze()
+        assert q.frozen and not q.log2_t.requires_grad
+        q.unfreeze()
+        assert not q.frozen and q.log2_t.requires_grad
+
+    def test_non_trainable_quantizer_receives_no_gradient(self, rng):
+        q = TQTQuantizer(QuantConfig(bits=8), trainable=False)
+        x = Tensor(rng.standard_normal(10), requires_grad=True)
+        q(x).sum().backward()
+        assert q.log2_t.grad is None
+
+    def test_quantize_to_integers_range(self, rng):
+        q = TQTQuantizer(QuantConfig(bits=4), init_log2_t=0.0)
+        codes = q.quantize_to_integers(rng.standard_normal(100) * 5)
+        assert codes.min() >= -8 and codes.max() <= 7
+        assert codes.dtype == np.int64
+
+    def test_forward_matches_functional(self, rng):
+        config = QuantConfig(bits=8)
+        q = TQTQuantizer(config, init_log2_t=-1.0)
+        x = Tensor(rng.standard_normal(50))
+        np.testing.assert_allclose(q(x).data,
+                                   tqt_quantize(x, Tensor(np.asarray(-1.0)), config).data)
+
+    def test_fractional_length_requires_power_of_two(self):
+        q = TQTQuantizer(QuantConfig(bits=8, power_of_2=False))
+        with pytest.raises(ValueError):
+            _ = q.fractional_length
+
+    def test_unfused_module_path(self, rng):
+        config = QuantConfig(bits=8)
+        fused = TQTQuantizer(config, init_log2_t=0.3, fused=True)
+        unfused = TQTQuantizer(config, init_log2_t=0.3, fused=False)
+        x = Tensor(rng.standard_normal(64))
+        np.testing.assert_allclose(fused(x).data, unfused(x).data, atol=1e-12)
