@@ -1,0 +1,128 @@
+"""Engine vs. simulation — integer inference throughput on MobileNet.
+
+The paper's deployment claim is that trained power-of-2 thresholds turn the
+quantized graph into *pure fixed-point inference*.  The repo's fake-quant
+simulation executes that graph as dozens of float autograd ops per layer;
+the integer engine executes the same network as a compiled plan of integer
+kernels.  This benchmark measures both paths on the MobileNet v1 nano
+(the paper's headline network), asserts the engine is bit-exact and at
+least 3x faster than the per-op autograd path, and emits a machine-readable
+``BENCH_engine.json`` at the repo root so future PRs can track the
+performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.autograd import Tensor, no_grad
+from repro.engine import BatchedRunner, check_engine_parity
+from repro.models import compile_registry_model
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_engine.json"
+
+MODEL = "mobilenet_v1_nano"
+IMAGE_SIZE = 16
+BATCH_SIZE = 8
+BATCHES = 20
+REQUESTS = 128
+# 3x is the local acceptance bar (~4.5x observed); shared CI runners can set
+# ENGINE_BENCH_MIN_SPEEDUP lower to tolerate timing noise without losing the
+# bit-exactness gate.
+MIN_SPEEDUP = float(os.environ.get("ENGINE_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+def _best_rate(fn, batches, repeats: int = 3) -> float:
+    """Images/second, best of ``repeats`` timed sweeps (noise-robust)."""
+    fn(batches[0])  # warmup
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for batch in batches:
+            fn(batch)
+        best = min(best, time.perf_counter() - start)
+    return len(batches) * batches[0].shape[0] / best
+
+
+def test_engine_vs_simulation(benchmark, report_writer):
+    compiled = compile_registry_model(MODEL, image_size=IMAGE_SIZE, batch_size=BATCH_SIZE,
+                                      calibration_samples=16, calibration_batch_size=8)
+    graph = compiled.graph
+    engine = compiled.engine
+    rng = np.random.default_rng(0)
+    batches = [rng.standard_normal((BATCH_SIZE, 3, IMAGE_SIZE, IMAGE_SIZE))
+               for _ in range(BATCHES)]
+
+    # The engine must be bit-exact before its speed means anything.
+    parity = check_engine_parity(graph, engine, batches[:4])
+    assert parity.bit_exact, f"engine diverged from the simulation: {parity}"
+
+    # Per-op autograd simulation (the training-graph execution path).
+    autograd_rate = _best_rate(lambda b: graph(Tensor(b)), batches)
+
+    # Inference-mode simulation (no tape, still one float op per quantizer).
+    def nograd_forward(b):
+        with no_grad():
+            graph(Tensor(b))
+
+    nograd_rate = _best_rate(nograd_forward, batches)
+
+    engine_rate = _best_rate(lambda b: engine.run(b), batches)
+    speedup_autograd = engine_rate / autograd_rate
+    speedup_nograd = engine_rate / nograd_rate
+
+    # Serving statistics through the batched runner.
+    runner = BatchedRunner(engine)
+    requests = rng.standard_normal((REQUESTS, 3, IMAGE_SIZE, IMAGE_SIZE))
+    _, stats = runner.run(requests)
+
+    report_writer("engine_vs_simulation", format_table(
+        ["execution path", "img/s", "speedup"],
+        [
+            ["fake-quant simulation (autograd tape)", f"{autograd_rate:.0f}", "1.00x"],
+            ["fake-quant simulation (no_grad)", f"{nograd_rate:.0f}",
+             f"{nograd_rate / autograd_rate:.2f}x"],
+            ["integer engine (compiled plan)", f"{engine_rate:.0f}",
+             f"{speedup_autograd:.2f}x"],
+        ],
+        title=f"Engine vs simulation — {MODEL}, batch {BATCH_SIZE}, "
+              f"{IMAGE_SIZE}x{IMAGE_SIZE} inputs (bit-exact: {parity.bit_exact})",
+    ))
+
+    payload = {
+        "benchmark": "engine_vs_simulation",
+        "model": MODEL,
+        "image_size": IMAGE_SIZE,
+        "batch_size": BATCH_SIZE,
+        "bit_exact": parity.bit_exact,
+        "parity_codes_checked": parity.total_codes,
+        "simulation_autograd_img_per_s": autograd_rate,
+        "simulation_nograd_img_per_s": nograd_rate,
+        "engine_img_per_s": engine_rate,
+        "speedup_vs_autograd": speedup_autograd,
+        "speedup_vs_nograd": speedup_nograd,
+        "serving": stats.to_dict(),
+        "plan": {
+            "steps": len(compiled.plan.steps),
+            "weight_bytes": compiled.plan.manifest()["weight_bytes"],
+            "int32_mac_compatible": compiled.plan.manifest()["int32_mac_compatible"],
+            "buffers_allocated": engine.buffers_created,
+            "buffer_bytes": engine.buffer_bytes,
+        },
+        "unix_time": time.time(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup_autograd >= MIN_SPEEDUP, (
+        f"integer engine is only {speedup_autograd:.2f}x the per-op autograd path "
+        f"(required {MIN_SPEEDUP}x)"
+    )
+
+    # Timed kernel for pytest-benchmark trend tracking: one engine batch.
+    benchmark(lambda: engine.run(batches[0]))

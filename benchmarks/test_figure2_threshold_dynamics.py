@@ -9,7 +9,6 @@ two contributions cancel.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import ToyL2Problem, train_threshold
 

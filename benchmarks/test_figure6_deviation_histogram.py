@@ -8,7 +8,6 @@ range to preserve precision.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import (
     collect_threshold_deviations,

@@ -10,7 +10,6 @@ r_g ≈ 272.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

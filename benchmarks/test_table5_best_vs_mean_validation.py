@@ -12,7 +12,7 @@ small and non-negative.
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.training import PaperHyperparameters, Trainer
+from repro.training import Trainer
 
 
 def test_table5_best_vs_mean_validation(benchmark, mobilenet_v1_runner, report_writer):

@@ -1,16 +1,19 @@
-"""Fixed-point deployment: export integer weights/scales and verify bit accuracy.
+"""Fixed-point deployment: compile a quantized model to the integer engine.
 
 The paper's Graffitist flow emits a hardware-accurate inference graph whose
 CPU execution is bit-accurate to the FPGA fixed-point implementation
-(Section 4.2).  This example:
+(Section 4.2).  This example goes one step further than exporting integer
+weights: it *executes* the network end-to-end in integer arithmetic.
 
-1. statically quantizes a small CNN;
-2. exports each compute layer's integer weight codes and fractional lengths;
-3. runs the first convolution entirely in integer arithmetic (int64
-   accumulators + arithmetic-shift re-quantization) and checks it produces
-   exactly the same integer codes as the fake-quantized graph.
+1. statically quantize a small CNN (TQT power-of-2 thresholds);
+2. lower the quantized graph to an integer execution plan — int8 weight
+   codes, int32-range accumulators, bit-shift requantization — and print it;
+3. verify the whole network is bit-exact against the fake-quant simulation;
+4. serve a stream of requests through the batched runner and report
+   throughput and latency percentiles.
 
-Run with:  python examples/fixed_point_deployment.py
+Run with:  PYTHONPATH=src python examples/fixed_point_deployment.py
+(or just ``python examples/...`` after ``pip install -e .``)
 """
 
 from __future__ import annotations
@@ -18,63 +21,61 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import format_table
-from repro.data import SyntheticImageNet, sample_calibration_batches
-from repro.graph import OpKind, check_conv_bit_accuracy, export_graph_specs, quantize_static, transforms
-from repro.models import build_model
+from repro.engine import BatchedRunner, check_engine_parity
+from repro.models import compile_registry_model
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
-    dataset = SyntheticImageNet(num_classes=6, image_size=12, train_size=64, val_size=64, seed=0)
-    calibration = sample_calibration_batches(dataset, num_samples=32, batch_size=8)
-
-    graph = build_model("vgg_nano", num_classes=6, seed=0)
-    graph.eval()
-    transforms.run_default_optimizations(graph)
-    model = quantize_static(graph, calibration)
+    compiled = compile_registry_model("vgg_nano", num_classes=6, image_size=16,
+                                      batch_size=8, calibration_samples=32,
+                                      calibration_batch_size=8)
 
     # ------------------------------------------------------------------ #
-    # Export: integer weights + fractional lengths per compute layer.
+    # The lowered integer plan: one line per step, plus the manifest rows
+    # a deployment target cares about.
     # ------------------------------------------------------------------ #
-    input_quantizer = model.graph.nodes["input__quant"].module.quantizer.impl
-    input_fraction = int(np.asarray(input_quantizer.fractional_length))
-    specs = export_graph_specs(model.graph, input_fraction=input_fraction)
-
+    print(compiled.plan.summary())
+    manifest = compiled.plan.manifest()
     rows = []
-    for name, spec in specs.items():
-        rows.append([
-            name,
-            spec.weight_codes.shape,
-            f"2^-{spec.weight_fraction}",
-            f"2^-{spec.input_fraction}",
-            f"2^-{spec.output_fraction}",
-            spec.requantize_shift,
-        ])
+    for layer in manifest["steps"]:
+        if "weight_dtype" in layer:
+            rows.append([layer["name"], layer["weight_dtype"],
+                         f"2^-{layer['weight_fraction']}",
+                         layer["accumulator_bound"],
+                         "yes" if layer["fits_int32_accumulator"] else "NO"])
+    print()
     print(format_table(
-        ["layer", "weight codes", "s_w", "s_in", "s_out", "requant shift"],
+        ["layer", "weight codes", "s_w", "worst-case accumulator", "fits int32 MAC"],
         rows,
-        title="Exported fixed-point layer specifications (power-of-2 scales -> shifts)",
+        title="Compute layers of the integer plan (power-of-2 scales -> shifts)",
     ))
+    print(f"\nTotal integer weight payload: {manifest['weight_bytes']} bytes; "
+          f"int32-MAC compatible: {manifest['int32_mac_compatible']}")
 
     # ------------------------------------------------------------------ #
-    # Bit-accuracy check on the first quantized convolution.
+    # Bit-exactness of the full network, not just one layer.
     # ------------------------------------------------------------------ #
-    first_conv = next(node for node in model.graph.topological_order()
-                      if node.op == OpKind.QUANT_CONV)
-    layer = first_conv.module
-    # The arithmetic check compares the bias-free integer datapath.
-    layer.conv.bias = None
-    layer.bias_quantizer = None
-    layer.internal_quantizer = None
-    x = rng.standard_normal((4, 3, 12, 12))
-    report = check_conv_bit_accuracy(layer, x, input_quantizer)
-    print()
-    print(f"Bit-accuracy check on layer {first_conv.name!r}: "
-          f"{report['mismatches']} mismatching codes out of {report['total']} "
-          f"(max code difference {report['max_code_difference']:.0f})")
-    if report["mismatches"] == 0:
-        print("The fake-quantized inference graph is bit-accurate to the integer execution, "
+    batches = [rng.standard_normal((8, 3, 16, 16)) for _ in range(4)]
+    report = check_engine_parity(compiled.graph, compiled.engine, batches)
+    print(f"\nWhole-network parity vs fake-quant simulation: {report}")
+    if report.bit_exact:
+        print("The integer engine reproduces the quantized inference graph bit-exactly, "
               "matching the paper's CPU-vs-FPGA validation.")
+
+    # ------------------------------------------------------------------ #
+    # Serving-style batched execution.
+    # ------------------------------------------------------------------ #
+    runner = BatchedRunner(compiled.engine)
+    requests = rng.standard_normal((100, 3, 16, 16))
+    results, stats = runner.run(requests)
+    print(f"\nServed {stats.requests} requests in {stats.batches} batches of "
+          f"{stats.batch_size} ({stats.padded_requests} padded): "
+          f"{stats.throughput_rps:.0f} req/s, "
+          f"p50 {stats.latency_p50_ms:.2f} ms, p99 {stats.latency_p99_ms:.2f} ms")
+    top1 = np.argmax(results[0].codes)
+    print(f"First request predicted class {top1} "
+          f"(codes are int8 logits at scale 2^-{compiled.engine.output_meta.fraction}).")
 
 
 if __name__ == "__main__":

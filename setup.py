@@ -1,4 +1,9 @@
-"""Setuptools entry point (kept for environments without PEP 660 wheel support)."""
+"""Legacy setuptools shim.
+
+All package metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` in environments without the ``wheel``
+package (PEP 660 editable installs build a wheel).
+"""
 from setuptools import setup
 
 setup()

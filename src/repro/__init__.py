@@ -10,6 +10,8 @@ Sub-packages
                     fixed-point kernels, threshold freezing.
 ``repro.graph``     Graffitist-style graph IR, optimization transforms and
                     static/retrain quantization modes.
+``repro.engine``    Integer-only inference engine: plan lowering, batched
+                    serving runner, bit-exactness parity checks.
 ``repro.models``    Scaled-down model zoo (VGG, ResNet, Inception, MobileNet, DarkNet).
 ``repro.data``      Synthetic ImageNet substitute, preprocessing, loaders.
 ``repro.training``  Trainer, evaluator and the Table 1/3 experiment driver.
@@ -17,7 +19,7 @@ Sub-packages
                     threshold-deviation statistics and report formatting.
 """
 
-from . import autograd, nn, optim, quant, graph, models, data, training, analysis
+from . import autograd, nn, optim, quant, graph, engine, models, data, training, analysis
 
 __version__ = "1.0.0"
 
@@ -27,6 +29,7 @@ __all__ = [
     "optim",
     "quant",
     "graph",
+    "engine",
     "models",
     "data",
     "training",

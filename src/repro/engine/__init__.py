@@ -1,0 +1,44 @@
+"""Integer-only graph inference engine.
+
+Lowers quantized graphs (TQT power-of-2 thresholds) into linear plans of
+pure integer kernels — im2col conv / matmul accumulation, bit-shift
+requantization, fused bias + ReLU/ReLU6 — with preallocated buffer reuse,
+plus a batched serving runner and a bit-exactness parity checker against the
+float fake-quant simulation.
+"""
+
+from .kernels import (
+    EXACT_ACCUMULATOR_LIMIT,
+    INT32_ACCUMULATOR_LIMIT,
+    ConvGeometry,
+)
+from .plan import (
+    CompiledEngine,
+    EngineOutput,
+    ExecutionPlan,
+    PlanError,
+    QuantStage,
+    ValueMeta,
+    lower_graph,
+)
+from .runner import BatchedRunner, RequestResult, RunnerStats
+from .parity import ParityReport, check_engine_parity, simulate_reference
+
+__all__ = [
+    "EXACT_ACCUMULATOR_LIMIT",
+    "INT32_ACCUMULATOR_LIMIT",
+    "ConvGeometry",
+    "CompiledEngine",
+    "EngineOutput",
+    "ExecutionPlan",
+    "PlanError",
+    "QuantStage",
+    "ValueMeta",
+    "lower_graph",
+    "BatchedRunner",
+    "RequestResult",
+    "RunnerStats",
+    "ParityReport",
+    "check_engine_parity",
+    "simulate_reference",
+]

@@ -1,0 +1,229 @@
+"""Integer convolution / matmul kernels for the inference engine.
+
+The engine executes quantized graphs on integer *codes*: every activation
+tensor is a grid of small integers (int8/int16 range) and every layer is an
+integer multiply-accumulate followed by a power-of-2 requantization shift
+(Eq. 16 of the paper).  Two accumulation backends are provided:
+
+* ``"blas"`` (default) — the codes are staged in float64 lanes and the
+  multiply-accumulate runs through BLAS ``dgemm``.  Because every operand is
+  an integer and every accumulator provably stays below 2^53, the float64
+  arithmetic is *exact* integer arithmetic; this is the standard trick for
+  getting vectorized exact integer GEMM out of hardware whose fast path is
+  floating point.  :func:`assert_exact_accumulation` verifies the bound at
+  plan-bind time.
+* ``"int"`` — a pure ``int64`` einsum reference path.  Bit-identical to the
+  BLAS path (the parity tests assert this) and closer to what an int32-MAC
+  accelerator executes, but slower because NumPy has no BLAS for integers.
+
+All buffers (padded input, im2col columns, accumulators) are preallocated at
+plan-bind time and reused across batches, so the steady-state hot path
+performs no allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..autograd.conv import conv_output_size
+
+__all__ = [
+    "EXACT_ACCUMULATOR_LIMIT",
+    "INT32_ACCUMULATOR_LIMIT",
+    "ConvGeometry",
+    "assert_exact_accumulation",
+    "conv_accumulate",
+    "depthwise_accumulate",
+    "matmul_accumulate",
+    "max_pool_codes",
+]
+
+# float64 integer lanes are exact up to 2^53; int32 MAC hardware up to 2^31.
+EXACT_ACCUMULATOR_LIMIT = 2 ** 53
+INT32_ACCUMULATOR_LIMIT = 2 ** 31
+
+
+def assert_exact_accumulation(bound: int, where: str) -> None:
+    """Refuse to build a plan whose worst-case accumulator could round."""
+    if bound >= EXACT_ACCUMULATOR_LIMIT:
+        raise ValueError(
+            f"{where}: worst-case accumulator magnitude {bound} exceeds the exact "
+            f"float64 integer range (2^53); the BLAS accumulation path would round"
+        )
+
+
+def _normalize_pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+@dataclass
+class ConvGeometry:
+    """Bound im2col geometry for one convolution step.
+
+    Owns the preallocated padded-input and column buffers and knows how to
+    fill them from an NCHW code tensor without allocating.
+    """
+
+    batch: int
+    in_channels: int
+    height: int
+    width: int
+    out_channels: int
+    kernel: tuple[int, int]
+    stride: tuple[int, int]
+    padding: tuple[int, int]
+    groups: int
+    out_height: int = field(init=False)
+    out_width: int = field(init=False)
+    _padded: np.ndarray | None = field(init=False, default=None)
+    _cols: np.ndarray | None = field(init=False)
+
+    def __post_init__(self) -> None:
+        kh, kw = self.kernel
+        self.out_height = conv_output_size(self.height, kh, self.stride[0], self.padding[0])
+        self.out_width = conv_output_size(self.width, kw, self.stride[1], self.padding[1])
+        ph, pw = self.padding
+        if ph or pw:
+            self._padded = np.zeros(
+                (self.batch, self.in_channels, self.height + 2 * ph, self.width + 2 * pw)
+            )
+        if self.is_depthwise:
+            self._cols = None  # depthwise contracts the window view directly
+        else:
+            m = self.batch * self.out_height * self.out_width
+            k = (self.in_channels // self.groups) * kh * kw
+            self._cols = np.empty((self.groups, m, k))
+
+    @classmethod
+    def from_module(cls, batch: int, in_channels: int, height: int, width: int,
+                    out_channels: int, kernel_size, stride, padding, groups: int
+                    ) -> "ConvGeometry":
+        return cls(batch=batch, in_channels=in_channels, height=height, width=width,
+                   out_channels=out_channels, kernel=_normalize_pair(kernel_size),
+                   stride=_normalize_pair(stride), padding=_normalize_pair(padding),
+                   groups=int(groups))
+
+    @property
+    def output_shape(self) -> tuple[int, int, int, int]:
+        return (self.batch, self.out_channels, self.out_height, self.out_width)
+
+    @property
+    def is_depthwise(self) -> bool:
+        """One filter per channel: groups == C_in == C_out."""
+        return self.groups == self.in_channels == self.out_channels
+
+    def windows(self, x: np.ndarray) -> np.ndarray:
+        """Strided ``(N, C, OH, OW, KH, KW)`` window view over the padded input."""
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        src = x
+        if self._padded is not None:
+            self._padded[:, :, ph:ph + self.height, pw:pw + self.width] = x
+            src = self._padded
+        return sliding_window_view(src, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+
+    def fill_columns(self, x: np.ndarray) -> np.ndarray:
+        """im2col ``x`` (N, C, H, W) into the preallocated column buffer.
+
+        Returns the buffer shaped ``(groups, N*OH*OW, Cg*KH*KW)`` with the K
+        axis ordered ``(channel-in-group, kh, kw)`` to match the weight
+        matrix layout.
+        """
+        kh, kw = self.kernel
+        windows = self.windows(x)
+        # windows: (N, C, OH, OW, KH, KW) view; split C into (G, Cg) and move
+        # the group axis out front, then fuse transpose+cast into one copy.
+        g = self.groups
+        cg = self.in_channels // g
+        view = windows.reshape(self.batch, g, cg, self.out_height, self.out_width, kh, kw)
+        view = view.transpose(1, 0, 3, 4, 2, 5, 6)
+        np.copyto(
+            self._cols.reshape(g, self.batch, self.out_height, self.out_width, cg, kh, kw),
+            view,
+        )
+        return self._cols
+
+
+def depthwise_accumulate(geometry: ConvGeometry, x: np.ndarray, weight: np.ndarray,
+                         image: np.ndarray, path, mode: str = "blas") -> np.ndarray:
+    """Depthwise convolution directly over the strided window view.
+
+    Contracting the ``(N, C, OH, OW, KH, KW)`` view against per-channel
+    ``(C, KH, KW)`` filters with a precomputed einsum path skips both the
+    im2col materialization and the group-major accumulator transpose, which
+    makes this the fastest exact path for the MobileNet depthwise blocks.
+    """
+    windows = geometry.windows(x)
+    if mode == "int":
+        image[...] = np.einsum("nchwij,cij->nchw", windows.astype(np.int64),
+                               weight.astype(np.int64), optimize=True)
+    else:
+        np.einsum("nchwij,cij->nchw", windows, weight, out=image, optimize=path)
+    return image
+
+
+def conv_accumulate(geometry: ConvGeometry, x: np.ndarray, weight_t: np.ndarray,
+                    acc: np.ndarray, image: np.ndarray, mode: str = "blas") -> np.ndarray:
+    """Integer convolution accumulation into the preallocated buffers.
+
+    Parameters
+    ----------
+    x: input codes ``(N, C_in, H, W)`` in float64 lanes.
+    weight_t: weight codes ``(G, K, O)`` (float64 lanes), K ordered
+        ``(channel-in-group, kh, kw)``.
+    acc: accumulator buffer ``(G, N*OH*OW, O)``.
+    image: output-image buffer ``(N, C_out, OH, OW)`` the accumulator is
+        transposed into.
+    mode: ``"blas"`` for the exact float64 dgemm path, ``"int"`` for the pure
+        int64 einsum reference.
+    """
+    cols = geometry.fill_columns(x)
+    if mode == "int":
+        acc[...] = np.einsum("gmk,gko->gmo", cols.astype(np.int64),
+                             weight_t.astype(np.int64), optimize=True)
+    else:
+        np.matmul(cols, weight_t, out=acc)
+    g = geometry.groups
+    o = geometry.out_channels // g
+    acc_view = acc.reshape(g, geometry.batch, geometry.out_height, geometry.out_width, o)
+    np.copyto(
+        image.reshape(geometry.batch, g, o, geometry.out_height, geometry.out_width),
+        acc_view.transpose(1, 0, 4, 2, 3),
+    )
+    return image
+
+
+def matmul_accumulate(x: np.ndarray, weight_t: np.ndarray, acc: np.ndarray,
+                      mode: str = "blas") -> np.ndarray:
+    """Integer matmul accumulation ``x (N, F) @ weight_t (F, O)`` into ``acc``."""
+    if mode == "int":
+        acc[...] = x.astype(np.int64) @ weight_t.astype(np.int64)
+    else:
+        np.matmul(x, weight_t, out=acc)
+    return acc
+
+
+def max_pool_codes(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
+                   padding: tuple[int, int], padded: np.ndarray | None,
+                   out: np.ndarray) -> np.ndarray:
+    """Window max over integer codes (monotone in the shared scale).
+
+    Matches the fake-quant simulation exactly: padding inserts zero codes,
+    which is the same constant-zero padding the float max-pool applies.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    src = x
+    if padded is not None:
+        padded[...] = 0.0
+        padded[:, :, ph:ph + x.shape[2], pw:pw + x.shape[3]] = x
+        src = padded
+    windows = sliding_window_view(src, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    return np.max(windows, axis=(4, 5), out=out)

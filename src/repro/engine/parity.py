@@ -1,0 +1,79 @@
+"""Bit-exactness checks: integer engine vs. float fake-quant simulation.
+
+The paper validated its quantized inference graphs by checking that the CPU
+(fake-quant) execution is bit-accurate to the FPGA fixed-point
+implementation (Section 4.2).  This module performs the same check between
+the repo's two execution paths: the per-op autograd simulation of a
+quantized :class:`~repro.graph.ir.GraphIR` and the compiled integer plan of
+:mod:`repro.engine.plan`.  Parity means *every* output code matches exactly
+— not approximately — on every input batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..graph.ir import GraphIR
+from .plan import CompiledEngine
+
+__all__ = ["ParityReport", "check_engine_parity", "simulate_reference"]
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Result of comparing engine codes against the fake-quant simulation."""
+
+    batches: int
+    total_codes: int
+    mismatched_codes: int
+    max_code_difference: int
+
+    @property
+    def bit_exact(self) -> bool:
+        return self.mismatched_codes == 0
+
+    def __str__(self) -> str:
+        status = "bit-exact" if self.bit_exact else "MISMATCH"
+        return (f"{status}: {self.mismatched_codes}/{self.total_codes} codes differ "
+                f"over {self.batches} batches (max |Δ| = {self.max_code_difference})")
+
+
+def simulate_reference(graph: GraphIR, batch: np.ndarray) -> np.ndarray:
+    """One fake-quant forward pass (the float simulation the engine replaces)."""
+    was_training = graph.training
+    graph.eval()
+    with no_grad():
+        out = graph(Tensor(batch)).data
+    if was_training:
+        graph.train()
+    return out
+
+
+def check_engine_parity(graph: GraphIR, engine: CompiledEngine,
+                        batches: list[np.ndarray]) -> ParityReport:
+    """Assert-free parity comparison over a list of input batches.
+
+    The fake simulation emits real values ``codes * s``; they are converted
+    to codes with the engine's output scale so the comparison happens on the
+    integer grid the hardware would see.
+    """
+    total = mismatched = 0
+    max_diff = 0
+    scale = (2.0 ** engine.output_meta.fraction) * engine.output_meta.divisor
+    for batch in batches:
+        reference = simulate_reference(graph, batch)
+        reference_codes = np.rint(reference * scale).astype(np.int64)
+        engine_codes = engine.run(batch).codes.astype(np.int64)
+        if reference_codes.shape != engine_codes.shape:
+            raise ValueError(f"shape mismatch: simulation {reference_codes.shape} vs "
+                             f"engine {engine_codes.shape}")
+        diff = np.abs(reference_codes - engine_codes)
+        total += diff.size
+        mismatched += int(np.count_nonzero(diff))
+        if diff.size:
+            max_diff = max(max_diff, int(diff.max()))
+    return ParityReport(batches=len(batches), total_codes=total,
+                        mismatched_codes=mismatched, max_code_difference=max_diff)

@@ -1,0 +1,143 @@
+"""Batched serving-style runner for the integer inference engine.
+
+The engine is bound to a fixed batch shape (so its buffers can be
+preallocated); the runner accepts an arbitrary stream of single-image
+requests, coalesces them into full batches (padding the final partial batch
+with zero images), executes each batch through the compiled plan, and
+reports serving statistics: throughput, mean latency and latency
+percentiles.  Request latency is measured from the request's arrival time to
+the completion of the batch that carried it, so queueing delay induced by
+batching is part of the number — the trade-off a serving stack actually
+makes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .plan import CompiledEngine
+
+__all__ = ["RequestResult", "RunnerStats", "BatchedRunner"]
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Outcome of one request: its output codes and observed latency."""
+
+    request_id: int
+    codes: np.ndarray
+    latency_s: float
+    batch_index: int
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate serving statistics for one runner invocation."""
+
+    requests: int = 0
+    batches: int = 0
+    batch_size: int = 0
+    padded_requests: int = 0
+    total_time_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_mean_ms: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p90_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    _latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    def finalize(self) -> None:
+        if self.requests:
+            self.throughput_rps = self.requests / self.total_time_s if self.total_time_s else 0.0
+            latencies = np.asarray(self._latencies_ms)
+            self.latency_mean_ms = float(latencies.mean())
+            self.latency_p50_ms = float(np.percentile(latencies, 50))
+            self.latency_p90_ms = float(np.percentile(latencies, 90))
+            self.latency_p99_ms = float(np.percentile(latencies, 99))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (used by ``BENCH_engine.json``)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batch_size": self.batch_size,
+            "padded_requests": self.padded_requests,
+            "total_time_s": self.total_time_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_mean_ms": self.latency_mean_ms,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p90_ms": self.latency_p90_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+        }
+
+
+class BatchedRunner:
+    """Coalesce single-image requests into fixed-size engine batches."""
+
+    def __init__(self, engine: CompiledEngine) -> None:
+        self.engine = engine
+        self.batch_size = engine.batch_size
+        self._staging = np.zeros(engine.input_shape)
+
+    def run(self, images: np.ndarray, arrival_times_s: np.ndarray | None = None
+            ) -> tuple[list[RequestResult], RunnerStats]:
+        """Serve a request stream.
+
+        Parameters
+        ----------
+        images: array of shape ``(R, C, H, W)`` — one request per row, in
+            arrival order.
+        arrival_times_s: optional non-decreasing per-request arrival offsets
+            (seconds, relative to the start of serving).  Batch execution is
+            placed on a virtual clock — a batch starts once its last request
+            has arrived and the previous batch has finished, and takes its
+            *measured* compute time — so latency percentiles reflect the
+            queueing cost of the arrival pattern.  Defaults to a burst: all
+            requests arrive at t=0.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4 or images.shape[1:] != self.engine.input_shape[1:]:
+            expected = ", ".join(str(s) for s in self.engine.input_shape[1:])
+            raise ValueError(f"expected requests shaped (R, {expected}), got {images.shape}")
+        total = images.shape[0]
+        if arrival_times_s is None:
+            arrival_times_s = np.zeros(total)
+        arrival_times_s = np.asarray(arrival_times_s, dtype=np.float64)
+        if arrival_times_s.shape != (total,):
+            raise ValueError("arrival_times_s must have one entry per request")
+        if np.any(np.diff(arrival_times_s) < 0):
+            raise ValueError("arrival_times_s must be non-decreasing (arrival order)")
+
+        results: list[RequestResult] = []
+        stats = RunnerStats(batch_size=self.batch_size)
+        clock = 0.0  # virtual serving clock; advances by measured compute time
+        for batch_index, begin in enumerate(range(0, total, self.batch_size)):
+            end = min(begin + self.batch_size, total)
+            fill = end - begin
+            self._staging[:fill] = images[begin:end]
+            if fill < self.batch_size:
+                self._staging[fill:] = 0.0
+                stats.padded_requests += self.batch_size - fill
+            batch_ready = float(arrival_times_s[end - 1])
+            started = max(clock, batch_ready)
+            compute_start = time.perf_counter()
+            output = self.engine.run(self._staging)
+            compute_time = time.perf_counter() - compute_start
+            clock = started + compute_time
+            for offset in range(fill):
+                latency = clock - arrival_times_s[begin + offset]
+                results.append(RequestResult(
+                    request_id=begin + offset,
+                    codes=output.codes[offset].copy(),
+                    latency_s=float(latency),
+                    batch_index=batch_index,
+                ))
+                stats._latencies_ms.append(float(latency) * 1e3)
+            stats.batches += 1
+        stats.requests = total
+        stats.total_time_s = clock  # serving makespan on the virtual clock
+        stats.finalize()
+        return results, stats

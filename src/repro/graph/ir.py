@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Sequence
 
 from ..autograd import Tensor, concatenate
 from ..nn import Module
@@ -233,6 +233,20 @@ class GraphIR(Module):
         if node.op == OpKind.FLATTEN:
             return args[0].flatten(start_dim=node.attrs.get("start_dim", 1))
         raise RuntimeError(f"node {node.name!r} of kind {node.op!r} has no module to execute")
+
+    # ------------------------------------------------------------------ #
+    # Lowering
+    # ------------------------------------------------------------------ #
+    def lower_plan(self):
+        """Lower this (quantized) graph into an integer execution plan.
+
+        Convenience hook for :func:`repro.engine.lower_graph`; the graph must
+        already have been through the optimization transforms and the
+        quantization pass with TQT power-of-2 quantizers.
+        """
+        from ..engine.plan import lower_graph  # local import: engine builds on graph
+
+        return lower_graph(self)
 
     # ------------------------------------------------------------------ #
     def summary(self) -> str:

@@ -8,9 +8,7 @@ the accumulation happens in the 16-bit internal precision).
 
 from __future__ import annotations
 
-import numpy as np
-
-from ...nn import AvgPool2d, DepthwiseConv2d, GlobalAvgPool2d
+from ...nn import AvgPool2d, DepthwiseConv2d
 from ..ir import GraphIR, Node, OpKind
 
 __all__ = ["avgpool_to_depthwise_conv"]

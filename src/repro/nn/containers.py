@@ -8,7 +8,6 @@ concat is lossless once its inputs share one scale.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Sequence
 
 from ..autograd import Tensor, concatenate

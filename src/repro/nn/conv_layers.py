@@ -10,6 +10,18 @@ from .module import Module, Parameter
 
 __all__ = ["Conv2d", "DepthwiseConv2d", "Linear"]
 
+# Layers built without an explicit ``rng`` draw from children of one
+# module-level seed sequence.  Spawning a fresh child per layer keeps default
+# construction deterministic (per process, in construction order) while
+# guaranteeing sibling layers get independent weights — a shared
+# ``default_rng(0)`` fallback used to give every default-constructed layer
+# identical parameters.
+_DEFAULT_SEEDS = np.random.SeedSequence(0)
+
+
+def _default_rng() -> np.random.Generator:
+    return np.random.default_rng(_DEFAULT_SEEDS.spawn(1)[0])
+
 
 class Conv2d(Module):
     """2-D convolution layer (NCHW).
@@ -27,7 +39,7 @@ class Conv2d(Module):
                  padding=0, groups: int = 1, bias: bool = True,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or _default_rng()
         kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
         self.in_channels = in_channels
         self.out_channels = out_channels
@@ -71,7 +83,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or _default_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(

@@ -18,6 +18,8 @@ from .histogram import TensorHistogram
 from .fixed_point import (
     quantize_to_int,
     dequantize,
+    code_dtype,
+    requantize_codes,
     shift_requantize,
     fixed_point_multiplier,
     multiplier_requantize,
@@ -65,6 +67,8 @@ __all__ = [
     "TensorHistogram",
     "quantize_to_int",
     "dequantize",
+    "code_dtype",
+    "requantize_codes",
     "shift_requantize",
     "fixed_point_multiplier",
     "multiplier_requantize",

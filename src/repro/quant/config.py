@@ -11,7 +11,7 @@ expressed in the same framework.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["QuantConfig", "LayerPrecision", "INT8_PRECISION", "INT4_PRECISION"]
 

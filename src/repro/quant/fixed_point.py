@@ -26,6 +26,8 @@ from .config import QuantConfig
 __all__ = [
     "quantize_to_int",
     "dequantize",
+    "code_dtype",
+    "requantize_codes",
     "shift_requantize",
     "fixed_point_multiplier",
     "multiplier_requantize",
@@ -49,6 +51,33 @@ def dequantize(codes: np.ndarray, scale: float | np.ndarray) -> np.ndarray:
     return np.asarray(codes, dtype=np.float64) * scale
 
 
+def code_dtype(bits: int) -> np.dtype:
+    """Smallest signed integer dtype that can hold codes of ``bits`` bits."""
+    if bits <= 8:
+        return np.dtype(np.int8)
+    if bits <= 16:
+        return np.dtype(np.int16)
+    return np.dtype(np.int32)
+
+
+def requantize_codes(accumulator: np.ndarray, shift: int, qmin: int, qmax: int,
+                     divisor: int = 1, out: np.ndarray | None = None) -> np.ndarray:
+    """Vectorized requantization ``clip(rhe(acc * 2^-shift / divisor), qmin, qmax)``.
+
+    The shared kernel behind :func:`shift_requantize` and the integer
+    inference engine (:mod:`repro.engine`).  The arithmetic is carried in
+    float64 lanes: every input is an integer and ``2^-shift / divisor`` is an
+    exact power of two whenever ``divisor`` is one (the usual case) or a
+    power of two (global average pooling over power-of-two windows), so the
+    rounding is bit-identical to an integer shift with round-half-to-even.
+    ``out`` may be a preallocated float64 buffer of the accumulator's shape.
+    """
+    factor = (2.0 ** float(-shift)) / float(divisor)
+    scaled = np.multiply(accumulator, factor, out=out)
+    np.rint(scaled, out=scaled)
+    return np.clip(scaled, qmin, qmax, out=scaled)
+
+
 def shift_requantize(accumulator: np.ndarray, shift: int,
                      config: QuantConfig) -> np.ndarray:
     """Re-scale an integer accumulator by ``2^-shift`` with round-half-to-even.
@@ -57,14 +86,8 @@ def shift_requantize(accumulator: np.ndarray, shift: int,
     single arithmetic shift.
     Negative ``shift`` means a left shift (scale up).
     """
-    accumulator = np.asarray(accumulator, dtype=np.int64)
-    if shift == 0:
-        scaled = accumulator.astype(np.float64)
-    elif shift > 0:
-        scaled = accumulator.astype(np.float64) / (1 << shift)
-    else:
-        scaled = accumulator.astype(np.float64) * (1 << (-shift))
-    return np.clip(round_half_to_even(scaled), config.qmin, config.qmax).astype(np.int64)
+    accumulator = np.asarray(accumulator, dtype=np.float64)
+    return requantize_codes(accumulator, shift, config.qmin, config.qmax).astype(np.int64)
 
 
 def fixed_point_multiplier(real_multiplier: float, bits: int = 31) -> tuple[int, int]:

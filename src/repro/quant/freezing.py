@@ -12,7 +12,7 @@ bin ("correct side of log2 t*").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor, concatenate, conv2d, leaky_relu, matmul, maximum, relu, relu6
+from ..autograd import Tensor, concatenate, conv2d, matmul, maximum, relu, relu6
 from ..nn import Conv2d, Linear, Module, Parameter
 from .calibration import calibrate, kl_j_calibration
 from .config import LayerPrecision, QuantConfig

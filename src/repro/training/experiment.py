@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..data import DataLoader, Preprocessor, SyntheticImageNet, sample_calibration_batches
 from ..graph import GraphIR, clone_graph, prepare_retrain, quantize_static, transforms

@@ -27,7 +27,7 @@ from ..nn import BatchNorm2d, l2_regularization
 from ..optim import Adam, ParamGroup
 from ..quant import FreezingPolicy, ThresholdFreezer
 from .checkpoints import CheckpointKeeper
-from .evaluator import EvaluationResult, Evaluator
+from .evaluator import Evaluator
 from .hparams import PaperHyperparameters
 
 __all__ = ["TrainingResult", "Trainer"]

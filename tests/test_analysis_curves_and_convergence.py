@@ -43,7 +43,6 @@ class TestTQTTransferCurves:
         assert len(np.unique(np.round(curves.forward, 6))) == 8
 
     def test_input_gradient_is_indicator_of_clipping_range(self, curves):
-        inside = (curves.x > curves.clip_low) & (curves.x < curves.clip_high)
         margin = 0.01
         strict_inside = (curves.x > curves.clip_low + margin) & (curves.x < curves.clip_high - margin)
         np.testing.assert_allclose(curves.grad_input[strict_inside], 1.0)

@@ -1,0 +1,165 @@
+"""Integer engine: bit-exactness against the fake-quant simulation, buffer
+safety, plan lowering and the batched runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchedRunner,
+    PlanError,
+    check_engine_parity,
+    lower_graph,
+)
+from repro.models import MODEL_REGISTRY, build_model, compile_registry_model
+from repro.quant import QuantConfig, requantize_codes, shift_requantize
+
+IMAGE_SIZE = 8  # keeps every global-average-pool window a power of two
+BATCH = 4
+
+
+def _compile(name: str, **kwargs):
+    return compile_registry_model(name, image_size=IMAGE_SIZE, batch_size=BATCH,
+                                  calibration_samples=8, calibration_batch_size=4,
+                                  **kwargs)
+
+
+def _batches(count: int = 2, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE)) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------- #
+# Parity: every registry model, bit-exact
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_engine_bit_exact_on_registry_model(model_name):
+    compiled = _compile(model_name)
+    report = check_engine_parity(compiled.graph, compiled.engine, _batches(2))
+    assert report.bit_exact, f"{model_name}: {report}"
+    assert report.total_codes > 0
+
+
+@pytest.mark.parametrize("model_name", ["lenet_nano", "mobilenet_v1_nano", "darknet_nano"])
+def test_pure_int64_backend_matches(model_name):
+    """The int64 einsum reference produces the same codes as the BLAS lanes."""
+    compiled = _compile(model_name)
+    engine_int = compiled.plan.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE), accumulate="int")
+    (batch,) = _batches(1)
+    blas = compiled.engine.run(batch)
+    pure = engine_int.run(batch)
+    np.testing.assert_array_equal(blas.codes, pure.codes)
+    report = check_engine_parity(compiled.graph, engine_int, [batch])
+    assert report.bit_exact
+
+
+# ---------------------------------------------------------------------- #
+# Buffer reuse safety
+# ---------------------------------------------------------------------- #
+def test_buffer_reuse_does_not_alias_across_batches():
+    compiled = _compile("lenet_nano")
+    engine = compiled.engine
+    assert engine.buffers_created < len(engine.steps) + 1, \
+        "the linear-scan allocator should reuse at least one buffer"
+    a, b = _batches(2, seed=7)
+    out_a = engine.run(a)
+    snapshot = out_a.codes.copy()
+    out_b = engine.run(b)
+    # The first result must be a private copy, untouched by the second run.
+    np.testing.assert_array_equal(out_a.codes, snapshot)
+    assert out_a.codes is not out_b.codes
+    assert not np.shares_memory(out_a.codes, out_b.codes)
+    assert not np.array_equal(out_a.codes, out_b.codes), \
+        "different inputs should produce different logits"
+    # Re-running the first batch reproduces the first result exactly.
+    np.testing.assert_array_equal(engine.run(a).codes, snapshot)
+
+
+def test_engine_rejects_wrong_input_shape():
+    compiled = _compile("lenet_nano")
+    with pytest.raises(ValueError, match="bound to input shape"):
+        compiled.engine.run(np.zeros((BATCH, 3, IMAGE_SIZE + 1, IMAGE_SIZE)))
+
+
+# ---------------------------------------------------------------------- #
+# Lowering
+# ---------------------------------------------------------------------- #
+def test_lowering_requires_quantized_graph():
+    graph = build_model("lenet_nano", num_classes=4, seed=0)
+    with pytest.raises(PlanError):
+        lower_graph(graph)
+
+
+def test_non_power_of_two_avgpool_divisor_is_rejected():
+    # image_size=12 pools down to a 3x3 global-average window (divisor 9);
+    # the engine cannot guarantee bit-exactness there and must refuse.
+    with pytest.raises(PlanError, match="not a power of two"):
+        compile_registry_model("resnet_nano", image_size=12, batch_size=2,
+                               calibration_samples=4, calibration_batch_size=2)
+
+
+def test_graph_lower_plan_hook_and_manifest():
+    compiled = _compile("vgg_nano")
+    plan = compiled.graph.lower_plan()
+    assert plan.graph_name == "vgg_nano"
+    manifest = plan.manifest()
+    compute = [s for s in manifest["steps"] if "weight_dtype" in s]
+    assert compute and all(s["weight_dtype"] == "int8" for s in compute)
+    assert manifest["int32_mac_compatible"]
+    assert manifest["weight_bytes"] > 0
+    assert "quant_conv" in plan.summary()
+
+
+def test_output_scale_dequantizes_to_simulation_values():
+    compiled = _compile("lenet_nano")
+    (batch,) = _batches(1)
+    from repro.engine import simulate_reference
+
+    reference = simulate_reference(compiled.graph, batch)
+    np.testing.assert_array_equal(compiled.engine.run(batch).dequantize(), reference)
+
+
+# ---------------------------------------------------------------------- #
+# Batched runner
+# ---------------------------------------------------------------------- #
+def test_batched_runner_pads_and_matches_engine():
+    compiled = _compile("lenet_nano")
+    runner = BatchedRunner(compiled.engine)
+    rng = np.random.default_rng(3)
+    requests = rng.standard_normal((BATCH * 2 + 1, 3, IMAGE_SIZE, IMAGE_SIZE))
+    results, stats = runner.run(requests)
+    assert stats.requests == len(requests)
+    assert stats.batches == 3
+    assert stats.padded_requests == BATCH - 1
+    assert stats.throughput_rps > 0
+    assert stats.latency_p99_ms >= stats.latency_p50_ms >= 0
+    assert [r.request_id for r in results] == list(range(len(requests)))
+    # Per-request codes must equal a direct engine run over the same rows.
+    direct = compiled.engine.run(requests[:BATCH]).codes
+    for i in range(BATCH):
+        np.testing.assert_array_equal(results[i].codes, direct[i])
+    # Padding must not contaminate real requests in the final partial batch.
+    padded = np.zeros((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    padded[0] = requests[-1]
+    np.testing.assert_array_equal(results[-1].codes, compiled.engine.run(padded).codes[0])
+
+
+# ---------------------------------------------------------------------- #
+# Shared requantization helper
+# ---------------------------------------------------------------------- #
+def test_requantize_codes_matches_shift_requantize():
+    rng = np.random.default_rng(11)
+    acc = rng.integers(-(2 ** 20), 2 ** 20, size=(64,))
+    config = QuantConfig(bits=8, signed=True)
+    for shift in (-2, 0, 3, 9):
+        expected = shift_requantize(acc, shift, config)
+        got = requantize_codes(acc.astype(np.float64), shift, config.qmin, config.qmax)
+        np.testing.assert_array_equal(got, expected.astype(np.float64))
+
+
+def test_requantize_codes_power_of_two_divisor_is_exact():
+    acc = np.array([31.0, 32.0, 33.0, -31.0, -33.0, 48.0])
+    # value = acc / 64 with round-half-to-even: 32/64 = 0.5 -> 0, 48/64 = 0.75 -> 1
+    got = requantize_codes(acc, 0, -128, 127, divisor=64)
+    np.testing.assert_array_equal(got, [0.0, 0.0, 1.0, 0.0, -1.0, 1.0])

@@ -1,6 +1,5 @@
 """Unit tests for the graph IR and functional builder."""
 
-import numpy as np
 import pytest
 
 from repro import nn

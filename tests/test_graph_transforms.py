@@ -1,7 +1,6 @@
 """Unit tests for the graph optimization transforms (Section 4.1)."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.autograd import Tensor, no_grad

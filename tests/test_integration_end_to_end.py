@@ -5,13 +5,11 @@ floating point, optimize the graph, calibrate, quantize statically, retrain
 with TQT — and check the paper's qualitative claims at miniature scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.data import DataLoader, Preprocessor, SyntheticImageNet, sample_calibration_batches
 from repro.graph import (
     check_conv_bit_accuracy,
-    collect_tqt_quantizers,
     prepare_retrain,
     quantize_static,
 )

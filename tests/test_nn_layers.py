@@ -36,6 +36,16 @@ class TestConvLayers:
         expected = np.sqrt(2.0 / (16 * 9))
         assert 0.5 * expected < std < 2.0 * expected
 
+    def test_sibling_layers_without_rng_get_independent_weights(self):
+        # Regression: the default-rng fallback used to be a shared
+        # default_rng(0), so sibling layers were initialized identically.
+        conv_a = nn.Conv2d(3, 4, 3)
+        conv_b = nn.Conv2d(3, 4, 3)
+        assert not np.array_equal(conv_a.weight.data, conv_b.weight.data)
+        linear_a = nn.Linear(8, 4)
+        linear_b = nn.Linear(8, 4)
+        assert not np.array_equal(linear_a.weight.data, linear_b.weight.data)
+
 
 class TestBatchNorm:
     def test_normalizes_batch_statistics(self, rng):

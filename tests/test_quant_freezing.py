@@ -1,7 +1,6 @@
 """Unit tests for the incremental threshold-freezing controller."""
 
 import numpy as np
-import pytest
 
 from repro.quant import FreezingPolicy, QuantConfig, ThresholdFreezer, TQTQuantizer
 

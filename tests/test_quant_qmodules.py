@@ -7,7 +7,6 @@ from repro import nn
 from repro.autograd import Tensor
 from repro.quant import (
     INT4_PRECISION,
-    INT8_PRECISION,
     ActivationQuantizer,
     FakeQuantizer,
     LSQQuantizer,
