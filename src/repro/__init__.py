@@ -12,6 +12,8 @@ Sub-packages
                     static/retrain quantization modes.
 ``repro.engine``    Integer-only inference engine: plan lowering, batched
                     serving runner, bit-exactness parity checks.
+``repro.serving``   Multi-model fleet server: dynamic batching, LRU plan cache,
+                    SLO admission control, workload scenarios, serving metrics.
 ``repro.models``    Scaled-down model zoo (VGG, ResNet, Inception, MobileNet, DarkNet).
 ``repro.data``      Synthetic ImageNet substitute, preprocessing, loaders.
 ``repro.training``  Trainer, evaluator and the Table 1/3 experiment driver.
@@ -19,9 +21,9 @@ Sub-packages
                     threshold-deviation statistics and report formatting.
 """
 
-from . import autograd, nn, optim, quant, graph, engine, models, data, training, analysis
+from . import autograd, nn, optim, quant, graph, engine, models, serving, data, training, analysis
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "autograd",
@@ -31,6 +33,7 @@ __all__ = [
     "graph",
     "engine",
     "models",
+    "serving",
     "data",
     "training",
     "analysis",

@@ -952,6 +952,10 @@ class CompiledEngine:
         self.accumulate = accumulate
         self.buffers_created = pool.buffers_created
         self.buffer_bytes = pool.bytes_created
+        #: dtype of the float staging/input buffers (the integer codes ride
+        #: in exact float64 lanes); callers staging requests should match it.
+        self.input_dtype = np.dtype(np.float64)
+        self._partial_staging: np.ndarray | None = None
         self._env: list = [None] * slot_count
         # int32 covers every quantized output stage; a bypassed final stage
         # can carry raw accumulator codes, which need the wider dtype.
@@ -972,6 +976,9 @@ class CompiledEngine:
         if x.shape != self.input_shape:
             raise ValueError(f"engine is bound to input shape {self.input_shape}, "
                              f"got {x.shape}")
+        if not np.isfinite(x).all():
+            raise ValueError("engine inputs must be finite; got NaN or Inf values "
+                             "(quantization codes for non-finite inputs are undefined)")
         env = self._env
         env[0] = x  # steps only read the input; no defensive copy needed
         for step in self.steps:
@@ -979,3 +986,31 @@ class CompiledEngine:
         codes = env[self.output_slot].astype(self._codes_dtype)
         return EngineOutput(codes=codes, fraction=self.output_meta.fraction,
                             divisor=self.output_meta.divisor)
+
+    def run_partial(self, images: np.ndarray) -> EngineOutput:
+        """Execute a partially filled batch of ``1 <= fill <= batch_size`` images.
+
+        The engine is bound to a fixed batch shape, so the images are staged
+        into a lazily allocated zero-padded buffer; every plan op is
+        per-sample independent, so the padding rows never influence the real
+        rows.  The returned codes are sliced to the true fill — callers (the
+        dynamic batcher, serving stats) see variable-fill semantics instead
+        of paying full-batch padding.
+        """
+        images = np.asarray(images, dtype=self.input_dtype)
+        if images.ndim != 4 or images.shape[1:] != self.input_shape[1:]:
+            expected = ", ".join(str(s) for s in self.input_shape[1:])
+            raise ValueError(f"expected images shaped (fill, {expected}), got {images.shape}")
+        fill = images.shape[0]
+        if not 1 <= fill <= self.batch_size:
+            raise ValueError(f"fill must be in [1, {self.batch_size}], got {fill}")
+        if fill == self.batch_size:
+            return self.run(images)
+        if self._partial_staging is None:
+            self._partial_staging = np.zeros(self.input_shape, dtype=self.input_dtype)
+        staging = self._partial_staging
+        staging[:fill] = images
+        staging[fill:] = 0.0
+        out = self.run(staging)
+        return EngineOutput(codes=out.codes[:fill], fraction=out.fraction,
+                            divisor=out.divisor)

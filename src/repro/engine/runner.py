@@ -46,17 +46,22 @@ class RunnerStats:
     latency_mean_ms: float = 0.0
     latency_p50_ms: float = 0.0
     latency_p90_ms: float = 0.0
+    latency_p95_ms: float = 0.0
     latency_p99_ms: float = 0.0
     _latencies_ms: list[float] = field(default_factory=list, repr=False)
 
     def finalize(self) -> None:
-        if self.requests:
-            self.throughput_rps = self.requests / self.total_time_s if self.total_time_s else 0.0
-            latencies = np.asarray(self._latencies_ms)
-            self.latency_mean_ms = float(latencies.mean())
-            self.latency_p50_ms = float(np.percentile(latencies, 50))
-            self.latency_p90_ms = float(np.percentile(latencies, 90))
-            self.latency_p99_ms = float(np.percentile(latencies, 99))
+        if not self.requests or not self._latencies_ms:
+            # Zero-request run: keep the zeroed defaults rather than feeding
+            # an empty array to np.percentile.
+            return
+        self.throughput_rps = self.requests / self.total_time_s if self.total_time_s else 0.0
+        latencies = np.asarray(self._latencies_ms)
+        self.latency_mean_ms = float(latencies.mean())
+        self.latency_p50_ms = float(np.percentile(latencies, 50))
+        self.latency_p90_ms = float(np.percentile(latencies, 90))
+        self.latency_p95_ms = float(np.percentile(latencies, 95))
+        self.latency_p99_ms = float(np.percentile(latencies, 99))
 
     def to_dict(self) -> dict:
         """JSON-serializable view (used by ``BENCH_engine.json``)."""
@@ -70,6 +75,7 @@ class RunnerStats:
             "latency_mean_ms": self.latency_mean_ms,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p90_ms": self.latency_p90_ms,
+            "latency_p95_ms": self.latency_p95_ms,
             "latency_p99_ms": self.latency_p99_ms,
         }
 
@@ -80,7 +86,7 @@ class BatchedRunner:
     def __init__(self, engine: CompiledEngine) -> None:
         self.engine = engine
         self.batch_size = engine.batch_size
-        self._staging = np.zeros(engine.input_shape)
+        self._staging = np.zeros(engine.input_shape, dtype=engine.input_dtype)
 
     def run(self, images: np.ndarray, arrival_times_s: np.ndarray | None = None
             ) -> tuple[list[RequestResult], RunnerStats]:
@@ -98,10 +104,13 @@ class BatchedRunner:
             queueing cost of the arrival pattern.  Defaults to a burst: all
             requests arrive at t=0.
         """
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=self.engine.input_dtype)
         if images.ndim != 4 or images.shape[1:] != self.engine.input_shape[1:]:
             expected = ", ".join(str(s) for s in self.engine.input_shape[1:])
             raise ValueError(f"expected requests shaped (R, {expected}), got {images.shape}")
+        if not np.all(np.isfinite(images)):
+            raise ValueError("request images must be finite; got NaN or Inf values "
+                             "(quantization codes for non-finite inputs are undefined)")
         total = images.shape[0]
         if arrival_times_s is None:
             arrival_times_s = np.zeros(total)

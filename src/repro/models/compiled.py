@@ -19,7 +19,7 @@ from ..engine.plan import CompiledEngine, ExecutionPlan, lower_graph
 from ..graph import QuantizedModel, quantize_static, transforms
 from ..quant.config import LayerPrecision
 from .inception import avgpool_channel_hints
-from .registry import MODEL_REGISTRY, ModelSpec
+from .registry import MODEL_REGISTRY, ModelSpec, available_models
 
 __all__ = ["CompiledModel", "compile_registry_model"]
 
@@ -62,7 +62,7 @@ def compile_registry_model(name: str, *, num_classes: int = 10,
     try:
         spec = MODEL_REGISTRY[name]
     except KeyError as exc:
-        raise ValueError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}") from exc
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from exc
     image_size = image_size if image_size is not None else spec.input_size
 
     graph = spec.build(num_classes=num_classes, seed=seed, **model_kwargs)

@@ -1,0 +1,53 @@
+"""Multi-model serving layer over the integer inference engine.
+
+The TQT paper motivates integer-only inference by what deployment hardware
+runs; this package supplies the layer *above* the engine that deployment
+actually needs: a fleet server that routes requests by model name to
+per-model queues, a dynamic batcher (max-batch / max-wait timeout policy),
+a bounded LRU plan cache with compile-on-demand and recompile accounting,
+SLO-aware admission control backed by an EWMA cost model, workload
+generators (Poisson, bursty, diurnal, heavy-tailed) and first-class serving
+metrics — all on the same virtual clock as ``repro.engine.BatchedRunner``.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy, EwmaCostModel
+from .batcher import BatchingPolicy, DynamicBatcher
+from .cache import PlanCache
+from .metrics import MetricsCollector, ModelStats, percentiles_ms
+from .server import FleetReport, FleetServer, ServedRequest
+from .workload import (
+    SCENARIOS,
+    Request,
+    Scenario,
+    bursty_arrivals,
+    diurnal_arrivals,
+    fleet_input_shapes,
+    generate_requests,
+    heavy_tail_arrivals,
+    poisson_arrivals,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "EwmaCostModel",
+    "BatchingPolicy",
+    "DynamicBatcher",
+    "PlanCache",
+    "MetricsCollector",
+    "ModelStats",
+    "percentiles_ms",
+    "FleetReport",
+    "FleetServer",
+    "ServedRequest",
+    "SCENARIOS",
+    "Request",
+    "Scenario",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "fleet_input_shapes",
+    "generate_requests",
+    "heavy_tail_arrivals",
+    "poisson_arrivals",
+]

@@ -1,0 +1,119 @@
+"""Admission control: bounded queues and SLO-aware shedding.
+
+An overloaded server that queues everything converts overload into unbounded
+latency; shedding at admission converts it into bounded latency plus an
+explicit, measurable reject rate.  Two gates run at arrival time:
+
+* **bounded queue** — reject when the target model's queue is already at
+  ``max_queue_depth`` (backpressure);
+* **SLO shed** — reject when the *predicted* completion time of the request
+  would bust its deadline.  The prediction sums the worker's residual busy
+  time, the backlog of queued batches priced by a per-model **EWMA cost
+  model** of measured batch compute time, the policy's batch-formation
+  timeout, and the request's own batch cost.
+
+The prediction is deliberately a cheap heuristic (it prices partial batches
+at full-batch EWMA cost and assumes FIFO service); its job is to keep the
+shed decision monotone in load, not to be a simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .batcher import BatchingPolicy, DynamicBatcher
+from .workload import Request
+
+__all__ = ["EwmaCostModel", "AdmissionPolicy", "AdmissionDecision", "AdmissionController"]
+
+
+class EwmaCostModel:
+    """Exponentially weighted moving average of per-batch compute seconds.
+
+    One scalar per model: TQT engines run a fixed-shape plan, so per-batch
+    cost is nearly fill-independent (padding rows are computed either way),
+    which makes the per-batch EWMA the right granularity.
+    """
+
+    def __init__(self, alpha: float = 0.3, default_s: float = 5e-3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.default_s = default_s
+        self._estimates: dict[str, float] = {}
+
+    def prime(self, model: str, seconds: float) -> None:
+        """Seed the estimate from a warmup measurement."""
+        self._estimates[model] = float(seconds)
+
+    def observe(self, model: str, seconds: float) -> None:
+        prev = self._estimates.get(model)
+        if prev is None:
+            self._estimates[model] = float(seconds)
+        else:
+            self._estimates[model] = self.alpha * float(seconds) + (1.0 - self.alpha) * prev
+
+    def estimate(self, model: str) -> float:
+        """Current per-batch cost estimate (``default_s`` before any data)."""
+        return self._estimates.get(model, self.default_s)
+
+    def to_dict(self) -> dict:
+        return {model: est for model, est in sorted(self._estimates.items())}
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for the admission gates; ``None`` depth disables backpressure."""
+
+    max_queue_depth: int | None = 128
+    slo_shed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str | None = None           # "queue_full" | "slo" when shed
+    predicted_latency_s: float | None = None
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` using the EWMA cost model."""
+
+    def __init__(self, policy: AdmissionPolicy, cost_model: EwmaCostModel) -> None:
+        self.policy = policy
+        self.cost_model = cost_model
+
+    def predicted_latency_s(self, request: Request, now: float, worker_free: float,
+                            queues: dict[str, DynamicBatcher],
+                            batching: BatchingPolicy) -> float:
+        """Predicted completion latency if the request were admitted now."""
+        residual = max(0.0, worker_free - now)
+        backlog = 0.0
+        for model, queue in queues.items():
+            if queue.depth:
+                batches_ahead = math.ceil(queue.depth / batching.max_batch)
+                backlog += batches_ahead * self.cost_model.estimate(model)
+        formation = batching.max_wait_s if batching.max_wait_s is not None else 0.0
+        return residual + backlog + formation + self.cost_model.estimate(request.model)
+
+    def consider(self, request: Request, now: float, worker_free: float,
+                 queues: dict[str, DynamicBatcher],
+                 batching: BatchingPolicy) -> AdmissionDecision:
+        policy = self.policy
+        queue = queues[request.model]
+        if policy.max_queue_depth is not None and queue.depth >= policy.max_queue_depth:
+            return AdmissionDecision(False, reason="queue_full")
+        if policy.slo_shed and request.deadline_s is not None:
+            predicted = self.predicted_latency_s(request, now, worker_free, queues, batching)
+            if predicted > request.deadline_s:
+                return AdmissionDecision(False, reason="slo",
+                                         predicted_latency_s=predicted)
+            return AdmissionDecision(True, predicted_latency_s=predicted)
+        return AdmissionDecision(True)

@@ -1,0 +1,91 @@
+"""LRU cache of compiled execution plans, keyed by registry model name.
+
+A fleet server cannot afford to keep every model's compiled engine resident
+— weight codes and preallocated activation buffers are the memory budget —
+so plans are compiled on demand and held in a bounded LRU.  Evicting a model
+means the next request for it pays a *recompile*; the cache counts hits,
+misses, evictions and recompiles (a recompile is a miss on a model that was
+resident before) and records per-model compile wall time so the serving
+report can surface cold-start cost.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from ..models.compiled import CompiledModel, compile_registry_model
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU of :class:`~repro.models.compiled.CompiledModel` entries."""
+
+    def __init__(self, capacity: int,
+                 compile_fn: Callable[..., CompiledModel] | None = None,
+                 **compile_kwargs) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._compile = compile_fn if compile_fn is not None else compile_registry_model
+        self.compile_kwargs = compile_kwargs
+        self._entries: OrderedDict[str, CompiledModel] = OrderedDict()
+        self._ever_resident: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.recompiles = 0
+        self.compile_s: dict[str, float] = {}   # last compile wall time per model
+        self.total_compile_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    @property
+    def resident(self) -> list[str]:
+        """Model names currently resident, LRU-first."""
+        return list(self._entries)
+
+    def peek(self, name: str) -> CompiledModel | None:
+        """Resident entry or ``None`` — no LRU reorder, no counter updates."""
+        return self._entries.get(name)
+
+    def get(self, name: str) -> CompiledModel:
+        """Fetch a compiled model, compiling (and possibly evicting) on miss."""
+        entry = self._entries.get(name)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(name)
+            return entry
+        self.misses += 1
+        if name in self._ever_resident:
+            self.recompiles += 1
+        start = time.perf_counter()
+        entry = self._compile(name, **self.compile_kwargs)
+        elapsed = time.perf_counter() - start
+        self.compile_s[name] = elapsed
+        self.total_compile_s += elapsed
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[name] = entry
+        self._ever_resident.add(name)
+        return entry
+
+    def stats(self) -> dict:
+        """JSON-serializable counters for the serving report."""
+        return {
+            "capacity": self.capacity,
+            "resident": self.resident,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "recompiles": self.recompiles,
+            "total_compile_s": self.total_compile_s,
+            "compile_s": dict(self.compile_s),
+        }

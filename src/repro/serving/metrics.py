@@ -1,0 +1,161 @@
+"""Serving metrics: per-model and fleet-wide latency, goodput, queue depth.
+
+Collects events from one :meth:`FleetServer.serve` run on the virtual clock
+and reduces them into a JSON-serializable report: percentile latency per
+model and fleet-wide, goodput vs. shed rate, batch fill (variable-fill
+batches mean partial batches are *not* reported at full batch size — padded
+slots are a separate counter), worker utilization, and a queue-depth
+timeline downsampled to a bounded number of points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["percentiles_ms", "ModelStats", "MetricsCollector"]
+
+#: Maximum points kept in the queue-depth timeline of a report.
+TIMELINE_POINTS = 200
+
+
+def percentiles_ms(latencies_s: list[float]) -> dict:
+    """Latency summary in milliseconds; zeros for an empty population."""
+    if not latencies_s:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+    ms = np.asarray(latencies_s) * 1e3
+    return {
+        "count": int(ms.size),
+        "mean": float(ms.mean()),
+        "p50": float(np.percentile(ms, 50)),
+        "p90": float(np.percentile(ms, 90)),
+        "p95": float(np.percentile(ms, 95)),
+        "p99": float(np.percentile(ms, 99)),
+        "max": float(ms.max()),
+    }
+
+
+@dataclass
+class ModelStats:
+    """Mutable per-model accumulators."""
+
+    arrivals: int = 0
+    completed: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+    batches: int = 0
+    filled_slots: int = 0
+    padded_slots: int = 0
+    compute_s: float = 0.0
+    slo_met: int = 0
+    slo_missed: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def to_dict(self) -> dict:
+        deadline_pop = self.slo_met + self.slo_missed
+        return {
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "slo_attainment": self.slo_met / deadline_pop if deadline_pop else None,
+            "latency_ms": percentiles_ms(self.latencies_s),
+            "batches": self.batches,
+            "mean_fill": self.filled_slots / self.batches if self.batches else 0.0,
+            "padded_slots": self.padded_slots,
+            "compute_s": self.compute_s,
+        }
+
+
+class MetricsCollector:
+    """Event sink for one serve run; ``report()`` reduces to a dict."""
+
+    def __init__(self, models: list[str]) -> None:
+        self.models = list(models)
+        self.per_model: dict[str, ModelStats] = {m: ModelStats() for m in self.models}
+        self._depth_t: list[float] = []
+        self._depth: list[int] = []
+        self._busy_s = 0.0
+        self._first_arrival_s: float | None = None
+        self._last_arrival_s: float | None = None
+
+    def record_arrival(self, model: str, now: float) -> None:
+        self.per_model[model].arrivals += 1
+        if self._first_arrival_s is None:
+            self._first_arrival_s = now
+        self._last_arrival_s = now
+
+    def record_shed(self, model: str, reason: str) -> None:
+        shed = self.per_model[model].shed
+        shed[reason] = shed.get(reason, 0) + 1
+
+    def record_batch(self, model: str, fill: int, batch_size: int,
+                     compute_s: float) -> None:
+        """``batch_size`` is the engine's bound batch shape — the padding base."""
+        stats = self.per_model[model]
+        stats.batches += 1
+        stats.filled_slots += fill
+        stats.padded_slots += batch_size - fill
+        stats.compute_s += compute_s
+        self._busy_s += compute_s
+
+    def record_completion(self, model: str, latency_s: float,
+                          deadline_s: float | None = None) -> None:
+        """Completions with a deadline also feed SLO attainment — a completed
+        request that busts its deadline is not goodput in the SLO sense."""
+        stats = self.per_model[model]
+        stats.completed += 1
+        stats.latencies_s.append(latency_s)
+        if deadline_s is not None:
+            if latency_s <= deadline_s:
+                stats.slo_met += 1
+            else:
+                stats.slo_missed += 1
+
+    def record_queue_depth(self, now: float, total_depth: int) -> None:
+        self._depth_t.append(now)
+        self._depth.append(total_depth)
+
+    # ------------------------------------------------------------------ #
+    def _timeline(self) -> dict:
+        if not self._depth_t:
+            return {"t_s": [], "depth": [], "max_depth": 0}
+        stride = max(1, len(self._depth_t) // TIMELINE_POINTS)
+        return {
+            "t_s": [round(t, 6) for t in self._depth_t[::stride]],
+            "depth": self._depth[::stride],
+            "max_depth": int(max(self._depth)),
+        }
+
+    def report(self, makespan_s: float) -> dict:
+        """Fleet-wide + per-model reduction over the collected events."""
+        arrivals = sum(s.arrivals for s in self.per_model.values())
+        completed = sum(s.completed for s in self.per_model.values())
+        shed = sum(s.shed_total for s in self.per_model.values())
+        slo_met = sum(s.slo_met for s in self.per_model.values())
+        deadline_pop = slo_met + sum(s.slo_missed for s in self.per_model.values())
+        all_latencies = [lat for s in self.per_model.values() for lat in s.latencies_s]
+        span = ((self._last_arrival_s - self._first_arrival_s)
+                if self._first_arrival_s is not None and self._last_arrival_s is not None
+                else 0.0)
+        return {
+            "makespan_s": makespan_s,
+            "fleet": {
+                "arrivals": arrivals,
+                "completed": completed,
+                "shed": shed,
+                "shed_rate": shed / arrivals if arrivals else 0.0,
+                "slo_attainment": slo_met / deadline_pop if deadline_pop else None,
+                "offered_rps": arrivals / span if span else 0.0,
+                "goodput_rps": completed / makespan_s if makespan_s else 0.0,
+                "utilization": self._busy_s / makespan_s if makespan_s else 0.0,
+                "latency_ms": percentiles_ms(all_latencies),
+            },
+            "per_model": {m: s.to_dict() for m, s in self.per_model.items()},
+            "queue_depth": self._timeline(),
+        }

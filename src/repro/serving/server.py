@@ -1,0 +1,270 @@
+"""Multi-model fleet server on the engine's virtual clock.
+
+:class:`FleetServer` serves a stream of :class:`~repro.serving.workload.Request`
+objects against a fleet of registry models.  Per-model request queues are
+scheduled by a :class:`~repro.serving.batcher.BatchingPolicy`, engines come
+from a bounded :class:`~repro.serving.cache.PlanCache` (compile-on-demand,
+LRU eviction), and arrivals pass through
+:class:`~repro.serving.admission.AdmissionController` before queueing.
+
+Time is *virtual*, following ``BatchedRunner``'s convention: a batch starts
+once its queue's launch condition and the worker's availability allow, and
+advances the clock by its **measured** compute time (or by a caller-supplied
+``compute_time_fn(model, fill) -> seconds`` for deterministic simulation —
+the engine still executes for real so outputs stay bit-exact).  A single
+worker serializes batches across models, which is the regime where batching
+policy and admission control actually matter.
+
+The discrete-event loop interleaves two event kinds in time order: request
+arrivals (admission + enqueue) and batch launches (earliest ready queue,
+ties broken by oldest queued request then model name).  Arrivals at or
+before a launch instant are ingested first so they can join the batch.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..models.registry import MODEL_REGISTRY, available_models
+from .admission import AdmissionController, AdmissionPolicy, EwmaCostModel
+from .batcher import BatchingPolicy, DynamicBatcher
+from .cache import PlanCache
+from .metrics import MetricsCollector
+from .workload import Request, fleet_input_shapes
+
+__all__ = ["ServedRequest", "FleetReport", "FleetServer"]
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Terminal outcome of one request: completed with codes, or shed."""
+
+    request_id: int
+    model: str
+    status: str                          # "completed" | "shed"
+    latency_s: float | None = None
+    codes: np.ndarray | None = None
+    shed_reason: str | None = None
+    batch_index: int | None = None
+    batch_fill: int | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+
+@dataclass
+class FleetReport:
+    """Everything one serve run produced: outcomes, metrics, cache counters."""
+
+    policy: str
+    outcomes: list[ServedRequest]
+    metrics: dict
+    cache: dict
+    cost_model_s: dict
+    wall_time_s: float = 0.0
+
+    @property
+    def fleet(self) -> dict:
+        return self.metrics["fleet"]
+
+    @property
+    def completed(self) -> int:
+        return self.fleet["completed"]
+
+    @property
+    def shed(self) -> int:
+        return self.fleet["shed"]
+
+    def latency_ms(self, percentile: str = "p99") -> float:
+        return self.fleet["latency_ms"][percentile]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (outcomes elided — they carry arrays)."""
+        return {
+            "policy": self.policy,
+            "metrics": self.metrics,
+            "cache": self.cache,
+            "cost_model_s": self.cost_model_s,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+class FleetServer:
+    """Serve a multi-model request stream with dynamic batching + admission."""
+
+    def __init__(self, fleet: Sequence[str], *,
+                 batch_size: int = 8,
+                 image_size: int | None = None,
+                 policy: BatchingPolicy | None = None,
+                 admission: AdmissionPolicy | None = None,
+                 cache_capacity: int | None = None,
+                 compile_kwargs: dict | None = None,
+                 compute_time_fn: Callable[[str, int], float] | None = None,
+                 warm: bool = True) -> None:
+        fleet = list(fleet)
+        if not fleet:
+            raise ValueError("fleet must name at least one registry model")
+        unknown = [name for name in fleet if name not in MODEL_REGISTRY]
+        if unknown:
+            raise ValueError(f"unknown fleet models {unknown}; "
+                             f"available: {available_models()}")
+        if len(set(fleet)) != len(fleet):
+            raise ValueError(f"fleet has duplicate model names: {fleet}")
+        self.fleet = fleet
+        self.policy = policy if policy is not None else BatchingPolicy.dynamic(
+            max_batch=batch_size, max_wait_s=5e-3)
+        if self.policy.max_batch > batch_size:
+            raise ValueError(f"policy max_batch {self.policy.max_batch} exceeds the "
+                             f"engine batch size {batch_size}")
+        self.batch_size = batch_size
+        kwargs = dict(compile_kwargs or {})
+        kwargs["batch_size"] = batch_size
+        if image_size is not None:
+            kwargs["image_size"] = image_size
+        self.cache = PlanCache(cache_capacity if cache_capacity is not None else len(fleet),
+                               **kwargs)
+        self.cost_model = EwmaCostModel()
+        self.admission = AdmissionController(
+            admission if admission is not None else AdmissionPolicy(), self.cost_model)
+        self.compute_time_fn = compute_time_fn
+        if warm:
+            self.warm_up()
+
+    def warm_up(self) -> None:
+        """Compile the fleet and prime the cost model with one batch cost.
+
+        Models beyond the cache capacity are compiled and immediately LRU
+        evicted (their first mid-stream request recompiles), but the cost
+        model keeps every model's batch cost either way.  With a
+        deterministic ``compute_time_fn`` the prime comes from it too, so
+        admission predictions stay machine-independent; otherwise one probe
+        batch is measured.
+        """
+        for name in self.fleet:
+            compiled = self.cache.get(name)
+            if self.compute_time_fn is not None:
+                self.cost_model.prime(name, self.compute_time_fn(name, self.batch_size))
+                continue
+            probe = np.zeros(compiled.engine.input_shape)
+            start = time.perf_counter()
+            compiled.engine.run(probe)
+            self.cost_model.prime(name, time.perf_counter() - start)
+
+    @property
+    def input_shapes(self) -> dict[str, tuple[int, int, int]]:
+        """Per-model request image shapes the fleet engines expect."""
+        shapes = {}
+        for name in self.fleet:
+            compiled = self.cache.peek(name)   # no LRU / hit-counter side effects
+            if compiled is not None:
+                shapes[name] = tuple(compiled.engine.input_shape[1:])
+            else:
+                shapes.update(fleet_input_shapes(
+                    [name], self.cache.compile_kwargs.get("image_size")))
+        return shapes
+
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: Sequence[Request]) -> FleetReport:
+        """Run the discrete-event loop over a request stream."""
+        reqs = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        seen_ids: set[int] = set()
+        for req in reqs:
+            if req.model not in self.fleet:
+                raise ValueError(f"request {req.request_id} targets {req.model!r}, "
+                                 f"which is not in the fleet {self.fleet}")
+            if req.arrival_s < 0:
+                raise ValueError(f"request {req.request_id} has negative arrival time")
+            if req.request_id in seen_ids:
+                raise ValueError(f"duplicate request_id {req.request_id}; outcomes are "
+                                 f"keyed by id, so ids must be unique per stream")
+            seen_ids.add(req.request_id)
+
+        wall_start = time.perf_counter()
+        pending = {m: 0 for m in self.fleet}
+        for req in reqs:
+            pending[req.model] += 1
+        queues = {m: DynamicBatcher(m, self.policy) for m in self.fleet}
+        metrics = MetricsCollector(self.fleet)
+        outcomes: dict[int, ServedRequest] = {}
+
+        worker_free = 0.0
+        last_event = 0.0
+        batch_index = 0
+        i, n = 0, len(reqs)
+        while True:
+            # Earliest possible batch launch across the fleet.
+            best: tuple[float, float, str] | None = None
+            for model in self.fleet:
+                queue = queues[model]
+                ready = queue.ready_time(pending[model])
+                if ready == math.inf:
+                    continue
+                key = (max(ready, worker_free), queue.head_arrival_s, model)
+                if best is None or key < best:
+                    best = key
+
+            next_arrival = reqs[i].arrival_s if i < n else math.inf
+            if i < n and (best is None or next_arrival <= best[0]):
+                req = reqs[i]
+                i += 1
+                pending[req.model] -= 1
+                last_event = max(last_event, req.arrival_s)
+                metrics.record_arrival(req.model, req.arrival_s)
+                decision = self.admission.consider(req, req.arrival_s, worker_free,
+                                                   queues, self.policy)
+                if decision.admitted:
+                    queues[req.model].push(req)
+                else:
+                    metrics.record_shed(req.model, decision.reason)
+                    outcomes[req.request_id] = ServedRequest(
+                        request_id=req.request_id, model=req.model, status="shed",
+                        shed_reason=decision.reason)
+                metrics.record_queue_depth(req.arrival_s,
+                                           sum(q.depth for q in queues.values()))
+                continue
+            if best is None:
+                break
+
+            # Launch the chosen model's batch.
+            launch_t, _, model = best
+            batch = queues[model].pop_batch()
+            fill = len(batch)
+            compiled = self.cache.get(model)
+            images = np.stack([r.image for r in batch])
+            start = time.perf_counter()
+            output = compiled.engine.run_partial(images)
+            measured = time.perf_counter() - start
+            compute = (self.compute_time_fn(model, fill)
+                       if self.compute_time_fn is not None else measured)
+            self.cost_model.observe(model, compute)
+            finish = launch_t + compute
+            worker_free = finish
+            last_event = max(last_event, finish)
+            for offset, req in enumerate(batch):
+                latency = finish - req.arrival_s
+                metrics.record_completion(model, latency, req.deadline_s)
+                outcomes[req.request_id] = ServedRequest(
+                    request_id=req.request_id, model=model, status="completed",
+                    latency_s=latency, codes=output.codes[offset].copy(),
+                    batch_index=batch_index, batch_fill=fill)
+            # Padding is relative to the engine's bound batch shape: even a
+            # "full" policy batch below batch_size pays padded compute rows.
+            metrics.record_batch(model, fill, self.batch_size, compute)
+            metrics.record_queue_depth(finish, sum(q.depth for q in queues.values()))
+            batch_index += 1
+
+        report = metrics.report(makespan_s=last_event)
+        return FleetReport(
+            policy=self.policy.describe(),
+            outcomes=[outcomes[rid] for rid in sorted(outcomes)],
+            metrics=report,
+            cache=self.cache.stats(),
+            cost_model_s=self.cost_model.to_dict(),
+            wall_time_s=time.perf_counter() - wall_start,
+        )

@@ -1,0 +1,230 @@
+"""Workload generation: arrival processes, model mixes and named scenarios.
+
+A serving system's end-to-end behavior is dominated by the *shape* of its
+traffic, not just its mean rate — bursts fill queues that a Poisson stream
+of the same average never would, and heavy-tailed gaps starve batches that
+a steady stream keeps full.  This module produces request streams on the
+fleet server's virtual clock from four arrival processes:
+
+* **poisson** — memoryless exponential interarrivals (the classic open-loop
+  baseline);
+* **bursty** — an on/off source: exponentially distributed ON periods that
+  emit a Poisson stream at a high rate, separated by silent OFF periods;
+* **diurnal** — an inhomogeneous Poisson process whose rate follows a
+  sinusoidal day/night curve, sampled by thinning;
+* **heavy_tail** — Lomax (Pareto-II) interarrivals with finite mean but
+  high variance, so occasional very long gaps punctuate dense clusters.
+
+Each :class:`Scenario` pairs an arrival process with a model mix and an SLO
+deadline; :data:`SCENARIOS` names the presets the serving benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.registry import MODEL_REGISTRY, available_models
+
+__all__ = [
+    "Request",
+    "Scenario",
+    "SCENARIOS",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "heavy_tail_arrivals",
+    "fleet_input_shapes",
+    "generate_requests",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request addressed to a named fleet model.
+
+    ``deadline_s`` is the request's latency SLO (seconds from arrival);
+    admission control sheds the request when its predicted completion would
+    bust the deadline.  ``None`` disables SLO shedding for the request.
+    """
+
+    request_id: int
+    model: str
+    arrival_s: float
+    image: np.ndarray
+    deadline_s: float | None = None
+
+
+# ---------------------------------------------------------------------- #
+# Arrival processes — each returns sorted arrival offsets in [0, duration)
+# ---------------------------------------------------------------------- #
+def poisson_arrivals(rate_rps: float, duration_s: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Homogeneous Poisson process: exponential interarrival times."""
+    if rate_rps <= 0 or duration_s <= 0:
+        return np.empty(0)
+    # Draw enough gaps to overshoot the horizon with near-certainty.
+    expect = max(8, int(rate_rps * duration_s * 2 + 10 * np.sqrt(rate_rps * duration_s)))
+    times = np.cumsum(rng.exponential(1.0 / rate_rps, size=expect))
+    while times.size and times[-1] < duration_s:
+        times = np.concatenate([times, times[-1] + np.cumsum(
+            rng.exponential(1.0 / rate_rps, size=expect))])
+    return times[times < duration_s]
+
+
+def bursty_arrivals(burst_rate_rps: float, duration_s: float,
+                    rng: np.random.Generator, *, on_s: float = 0.15,
+                    off_s: float = 0.35) -> np.ndarray:
+    """On/off source: Poisson bursts at ``burst_rate_rps`` between silences.
+
+    ON and OFF period lengths are exponential with means ``on_s`` / ``off_s``;
+    the long-run average rate is ``burst_rate_rps * on_s / (on_s + off_s)``.
+    """
+    times: list[np.ndarray] = []
+    t = 0.0
+    while t < duration_s:
+        on_end = t + rng.exponential(on_s)
+        burst = t + poisson_arrivals(burst_rate_rps, on_end - t, rng)
+        times.append(burst[burst < duration_s])
+        t = on_end + rng.exponential(off_s)
+    return np.concatenate(times) if times else np.empty(0)
+
+
+def diurnal_arrivals(base_rps: float, peak_rps: float, duration_s: float,
+                     rng: np.random.Generator, *, period_s: float = 1.0) -> np.ndarray:
+    """Inhomogeneous Poisson with a sinusoidal rate, sampled by thinning.
+
+    The rate swings from ``base_rps`` (trough, at t=0) to ``peak_rps``
+    (mid-period), modeling a compressed day/night cycle of ``period_s``.
+    """
+    if peak_rps < base_rps:
+        raise ValueError("peak_rps must be >= base_rps")
+    candidates = poisson_arrivals(peak_rps, duration_s, rng)
+    rate = base_rps + (peak_rps - base_rps) * 0.5 * (
+        1.0 - np.cos(2.0 * np.pi * candidates / period_s))
+    keep = rng.random(candidates.size) < rate / peak_rps
+    return candidates[keep]
+
+
+def heavy_tail_arrivals(rate_rps: float, duration_s: float,
+                        rng: np.random.Generator, *, alpha: float = 1.7) -> np.ndarray:
+    """Lomax (Pareto-II) interarrivals with mean ``1/rate_rps``.
+
+    ``alpha`` is the tail index; ``1 < alpha <= 2`` keeps the mean finite
+    while the variance is large (infinite at ``alpha <= 2``), producing long
+    quiet gaps between clusters of arrivals.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1 so the interarrival mean is finite")
+    scale = (alpha - 1.0) / rate_rps
+    expect = max(8, int(rate_rps * duration_s * 2 + 10 * np.sqrt(rate_rps * duration_s)))
+    times = np.cumsum(rng.pareto(alpha, size=expect) * scale)
+    while times.size and times[-1] < duration_s:
+        times = np.concatenate([times, times[-1] + np.cumsum(
+            rng.pareto(alpha, size=expect) * scale)])
+    return times[times < duration_s]
+
+
+_ARRIVALS = {
+    "poisson": poisson_arrivals,
+    "bursty": bursty_arrivals,
+    "diurnal": diurnal_arrivals,
+    "heavy_tail": heavy_tail_arrivals,
+}
+
+
+# ---------------------------------------------------------------------- #
+# Scenarios
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Scenario:
+    """An arrival process plus a model mix and a latency SLO."""
+
+    name: str
+    arrival: str                               # key into the arrival-process table
+    duration_s: float
+    model_mix: tuple[tuple[str, float], ...]   # (model name, weight) pairs
+    slo_ms: float | None = 250.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(f"unknown arrival process {self.arrival!r}; "
+                             f"available: {sorted(_ARRIVALS)}")
+        if not self.model_mix:
+            raise ValueError("model_mix must name at least one model")
+
+    @property
+    def models(self) -> list[str]:
+        return [name for name, _ in self.model_mix]
+
+    def arrival_times(self, rng: np.random.Generator) -> np.ndarray:
+        return _ARRIVALS[self.arrival](duration_s=self.duration_s, rng=rng, **self.params)
+
+
+_DEFAULT_MIX = (("lenet_nano", 0.5), ("mobilenet_v1_nano", 0.5))
+
+#: Preset traffic scenarios swept by ``benchmarks/test_serving_scenarios.py``.
+SCENARIOS: dict[str, Scenario] = {
+    "steady_poisson": Scenario(
+        "steady_poisson", "poisson", duration_s=2.0, model_mix=_DEFAULT_MIX,
+        params=dict(rate_rps=150.0)),
+    "sparse_poisson": Scenario(
+        "sparse_poisson", "poisson", duration_s=2.5, model_mix=_DEFAULT_MIX,
+        params=dict(rate_rps=25.0)),
+    "bursty": Scenario(
+        "bursty", "bursty", duration_s=2.0,
+        model_mix=(("lenet_nano", 0.7), ("mobilenet_v1_nano", 0.3)),
+        params=dict(burst_rate_rps=450.0, on_s=0.15, off_s=0.35)),
+    "diurnal": Scenario(
+        "diurnal", "diurnal", duration_s=2.0, model_mix=_DEFAULT_MIX,
+        params=dict(base_rps=40.0, peak_rps=320.0, period_s=1.0)),
+    "heavy_tail": Scenario(
+        "heavy_tail", "heavy_tail", duration_s=2.0,
+        model_mix=(("lenet_nano", 0.6), ("mobilenet_v1_nano", 0.4)),
+        params=dict(rate_rps=150.0, alpha=1.7)),
+}
+
+
+def fleet_input_shapes(models: list[str], image_size: int | None = None
+                       ) -> dict[str, tuple[int, int, int]]:
+    """Per-model ``(C, H, W)`` request shapes from the registry specs."""
+    shapes: dict[str, tuple[int, int, int]] = {}
+    for name in models:
+        try:
+            spec = MODEL_REGISTRY[name]
+        except KeyError as exc:
+            raise ValueError(f"unknown model {name!r}; "
+                             f"available: {available_models()}") from exc
+        size = image_size if image_size is not None else spec.input_size
+        shapes[name] = (spec.in_channels, size, size)
+    return shapes
+
+
+def generate_requests(scenario: Scenario,
+                      input_shapes: dict[str, tuple[int, int, int]],
+                      seed: int = 0) -> list[Request]:
+    """Materialize a scenario into a sorted request stream.
+
+    Arrival times come from the scenario's process, model names are drawn
+    i.i.d. from its mix, and images are synthetic standard-normal tensors
+    shaped per ``input_shapes`` (see :func:`fleet_input_shapes`).  The same
+    ``seed`` reproduces the stream exactly.
+    """
+    missing = [name for name in scenario.models if name not in input_shapes]
+    if missing:
+        raise ValueError(f"input_shapes missing entries for {missing}")
+    rng = np.random.default_rng(seed)
+    times = scenario.arrival_times(rng)
+    names = scenario.models
+    weights = np.asarray([w for _, w in scenario.model_mix], dtype=np.float64)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(names), size=times.size, p=weights)
+    deadline = scenario.slo_ms / 1e3 if scenario.slo_ms is not None else None
+    return [
+        Request(request_id=i, model=names[picks[i]], arrival_s=float(times[i]),
+                image=rng.standard_normal(input_shapes[names[picks[i]]]),
+                deadline_s=deadline)
+        for i in range(times.size)
+    ]

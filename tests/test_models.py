@@ -28,6 +28,24 @@ class TestRegistry:
         with pytest.raises(ValueError):
             build_model("resnet_9000")
 
+    def test_unknown_model_error_lists_available_models(self):
+        with pytest.raises(ValueError) as excinfo:
+            build_model("resnet_9000")
+        message = str(excinfo.value)
+        assert "resnet_9000" in message
+        for name in available_models():
+            assert name in message
+
+    def test_compile_unknown_model_error_lists_available_models(self):
+        from repro.models import compile_registry_model
+
+        with pytest.raises(ValueError) as excinfo:
+            compile_registry_model("resnet_9000")
+        message = str(excinfo.value)
+        assert "resnet_9000" in message
+        for name in available_models():
+            assert name in message
+
     def test_paper_names_recorded(self):
         assert "MobileNet" in MODEL_REGISTRY["mobilenet_v1_nano"].paper_name
         assert "VGG" in MODEL_REGISTRY["vgg_nano"].paper_name

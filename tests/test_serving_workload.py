@@ -1,0 +1,125 @@
+"""Workload generators: arrival processes, scenarios and request synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    SCENARIOS,
+    Scenario,
+    bursty_arrivals,
+    diurnal_arrivals,
+    fleet_input_shapes,
+    generate_requests,
+    heavy_tail_arrivals,
+    poisson_arrivals,
+)
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+@pytest.mark.parametrize("make", [
+    lambda rng: poisson_arrivals(200.0, 3.0, rng),
+    lambda rng: bursty_arrivals(400.0, 3.0, rng),
+    lambda rng: diurnal_arrivals(50.0, 300.0, 3.0, rng),
+    lambda rng: heavy_tail_arrivals(200.0, 3.0, rng),
+])
+def test_arrivals_sorted_within_horizon_and_deterministic(make):
+    times = make(RNG())
+    assert times.size > 0
+    assert np.all(np.diff(times) >= 0)
+    assert times[0] >= 0.0 and times[-1] < 3.0
+    np.testing.assert_array_equal(times, make(RNG()))
+    assert not np.array_equal(times, make(RNG(1)))
+
+
+def test_poisson_rate_is_approximately_honored():
+    times = poisson_arrivals(200.0, 5.0, RNG())
+    # mean 1000 arrivals, sd ~32; 5 sigma bounds
+    assert 840 < times.size < 1160
+
+
+def test_poisson_degenerate_inputs_yield_empty():
+    assert poisson_arrivals(0.0, 1.0, RNG()).size == 0
+    assert poisson_arrivals(10.0, 0.0, RNG()).size == 0
+
+
+def test_bursty_has_quiet_gaps():
+    times = bursty_arrivals(500.0, 4.0, RNG(), on_s=0.1, off_s=0.5)
+    gaps = np.diff(times)
+    # off periods produce gaps far above the in-burst interarrival of 2ms
+    assert gaps.max() > 20 * (1.0 / 500.0)
+
+
+def test_diurnal_peak_concentrates_arrivals():
+    times = diurnal_arrivals(10.0, 400.0, 1.0, RNG(), period_s=1.0)
+    # mid-period (rate peak) must hold more arrivals than the trough edges
+    mid = np.sum((times > 0.25) & (times < 0.75))
+    edges = times.size - mid
+    assert mid > edges
+
+
+def test_diurnal_rejects_peak_below_base():
+    with pytest.raises(ValueError, match="peak_rps"):
+        diurnal_arrivals(100.0, 50.0, 1.0, RNG())
+
+
+def test_heavy_tail_rejects_infinite_mean():
+    with pytest.raises(ValueError, match="alpha"):
+        heavy_tail_arrivals(100.0, 1.0, RNG(), alpha=1.0)
+
+
+def test_heavy_tail_gaps_exceed_poisson_tails():
+    ht = np.diff(heavy_tail_arrivals(200.0, 5.0, RNG(), alpha=1.3))
+    # a Lomax tail produces a max gap far above its own mean gap
+    assert ht.max() > 20 * ht.mean()
+
+
+# ---------------------------------------------------------------------- #
+# Scenarios and request synthesis
+# ---------------------------------------------------------------------- #
+def test_scenario_validates_arrival_kind_and_mix():
+    with pytest.raises(ValueError, match="unknown arrival"):
+        Scenario("x", "uniform", 1.0, (("lenet_nano", 1.0),))
+    with pytest.raises(ValueError, match="model_mix"):
+        Scenario("x", "poisson", 1.0, ())
+
+
+def test_preset_scenarios_cover_multiple_models():
+    assert len(SCENARIOS) >= 4
+    for scenario in SCENARIOS.values():
+        assert len(scenario.models) >= 2
+        assert scenario.slo_ms is None or scenario.slo_ms > 0
+
+
+def test_fleet_input_shapes_from_registry():
+    shapes = fleet_input_shapes(["lenet_nano", "mobilenet_v1_nano"], image_size=8)
+    assert shapes == {"lenet_nano": (3, 8, 8), "mobilenet_v1_nano": (3, 8, 8)}
+    defaults = fleet_input_shapes(["lenet_nano"])
+    assert defaults["lenet_nano"] == (3, 16, 16)
+    with pytest.raises(ValueError, match="available"):
+        fleet_input_shapes(["resnet_nano_giant"])
+
+
+def test_generate_requests_is_deterministic_and_mixed():
+    scenario = SCENARIOS["steady_poisson"]
+    shapes = fleet_input_shapes(scenario.models, image_size=8)
+    reqs = generate_requests(scenario, shapes, seed=0)
+    again = generate_requests(scenario, shapes, seed=0)
+    assert len(reqs) == len(again) > 0
+    assert [r.request_id for r in reqs] == list(range(len(reqs)))
+    assert all(r.deadline_s == scenario.slo_ms / 1e3 for r in reqs)
+    assert {r.model for r in reqs} == set(scenario.models)
+    for a, b in zip(reqs[:20], again[:20]):
+        assert a.model == b.model and a.arrival_s == b.arrival_s
+        np.testing.assert_array_equal(a.image, b.image)
+        assert a.image.shape == shapes[a.model]
+    arrivals = [r.arrival_s for r in reqs]
+    assert arrivals == sorted(arrivals)
+
+
+def test_generate_requests_requires_shapes_for_the_mix():
+    scenario = SCENARIOS["steady_poisson"]
+    with pytest.raises(ValueError, match="missing"):
+        generate_requests(scenario, {"lenet_nano": (3, 8, 8)}, seed=0)
