@@ -17,11 +17,22 @@ them, mirroring how the paper reuses one pre-trained checkpoint per network.
 
 from __future__ import annotations
 
-from pathlib import Path
+import os
 
-import pytest
+# Pin BLAS threading BEFORE numpy loads so every benchmark measures
+# single-threaded kernels: sharded-vs-single comparisons stay
+# apples-to-apples (our thread pool is the only parallelism) and CI timings
+# stop drifting with the runner's core count.  The CI workflow exports the
+# same variables at the job level as a belt-and-braces guarantee.
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS", "VECLIB_MAXIMUM_THREADS"):
+    os.environ.setdefault(_var, "1")
 
-from repro.training import ExperimentConfig, ExperimentRunner
+from pathlib import Path  # noqa: E402  (imports follow the BLAS pinning)
+
+import pytest  # noqa: E402
+
+from repro.training import ExperimentConfig, ExperimentRunner  # noqa: E402
 
 REPORT_DIR = Path(__file__).parent / "reports"
 

@@ -1,0 +1,154 @@
+"""Optimizer pass pipeline — unoptimized vs optimized vs optimized+sharded.
+
+PR 1's engine beat the per-op fake-quant simulation by lowering to a
+compiled integer plan; this benchmark tracks the *second* act: the plan
+optimizer (GEMM-epilogue fusion, weight prepacking, im2col elimination,
+per-layer backend autotuning) and multicore sharded execution.  For each
+model the three execution modes run the same request stream; bit-exactness
+between all of them is asserted before any speed number is recorded, and
+``BENCH_optimizer.json`` is written at the repo root so future PRs can track
+the trajectory.
+
+The speedup gate applies to the single-thread pass pipeline on MobileNet
+(the paper's headline network): ≥1.5x locally, relaxed via
+``OPT_BENCH_MIN_SPEEDUP`` on shared CI runners.  Sharded scaling is recorded
+but only asserted when the host actually has more than one core — BLAS
+releases the GIL, so the shards need real cores to overlap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.engine import ShardedRunner, check_plan_parity, optimize_plan
+from repro.models import compile_registry_model
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_optimizer.json"
+
+MODELS = ["mobilenet_v1_nano", "resnet_nano", "inception_nano", "darknet_nano"]
+HEADLINE = "mobilenet_v1_nano"
+IMAGE_SIZE = 16
+BATCH_SIZE = 8
+BATCHES = 5       # short sweeps ...
+SWEEPS = 12       # ... many times over: each mode gets many chances to catch
+                  # a quiet scheduling window on a shared host, and best-of
+                  # converges to true per-mode capability
+WORKERS = 4
+MIN_OPT_SPEEDUP = float(os.environ.get("OPT_BENCH_MIN_SPEEDUP", "1.5"))
+
+
+def _interleaved_rates(runs: dict, batches, repeats: int = SWEEPS) -> dict:
+    """Images/second per execution mode from the best observed batch latency.
+
+    Every individual engine call is timed and the per-mode minimum taken
+    (``repeats * len(batches)`` samples each), with the modes' sweeps
+    interleaved (A B C, A B C, ...) rather than measured back to back.  On a
+    shared host this converges to each mode's true capability — a single
+    quiet scheduling window per mode suffices — so the speedup *ratios*
+    stay stable under load noise that would swamp aggregate-sweep timing.
+    """
+    for run in runs.values():
+        run(batches[0])
+        run(batches[0])  # double warmup: fault in every buffer before timing
+    best = {key: float("inf") for key in runs}
+    for _ in range(repeats):
+        for key, run in runs.items():
+            for batch in batches:
+                start = time.perf_counter()
+                run(batch)
+                best[key] = min(best[key], time.perf_counter() - start)
+    return {key: batches[0].shape[0] / elapsed for key, elapsed in best.items()}
+
+
+def test_optimizer_and_sharding(report_writer):
+    rng = np.random.default_rng(0)
+    batches = [rng.standard_normal((BATCH_SIZE, 3, IMAGE_SIZE, IMAGE_SIZE))
+               for _ in range(BATCHES)]
+    cores = os.cpu_count() or 1
+    rows = []
+    results = {}
+    for name in MODELS:
+        compiled = compile_registry_model(name, image_size=IMAGE_SIZE,
+                                          batch_size=BATCH_SIZE,
+                                          calibration_samples=16,
+                                          calibration_batch_size=8,
+                                          optimize=False)
+        baseline = compiled.engine
+        optimized_plan = optimize_plan(compiled.plan)
+        optimized = optimized_plan.bind((BATCH_SIZE, 3, IMAGE_SIZE, IMAGE_SIZE))
+
+        parity = check_plan_parity(baseline, optimized, batches[:3])
+        assert parity.bit_exact, f"{name}: optimized plan diverged: {parity}"
+
+        with ShardedRunner(optimized_plan, (BATCH_SIZE, 3, IMAGE_SIZE, IMAGE_SIZE),
+                           workers=WORKERS) as sharded:
+            sharded_parity = check_plan_parity(baseline, sharded, batches[:2])
+            assert sharded_parity.bit_exact, \
+                f"{name}: sharded execution diverged: {sharded_parity}"
+            rates = _interleaved_rates(
+                {"baseline": baseline.run, "optimized": optimized.run,
+                 "sharded": sharded.run}, batches)
+        base_rate = rates["baseline"]
+        opt_rate = rates["optimized"]
+        sharded_rate = rates["sharded"]
+
+        speedup = opt_rate / base_rate
+        scaling = sharded_rate / opt_rate
+        results[name] = {
+            "baseline_img_per_s": base_rate,
+            "optimized_img_per_s": opt_rate,
+            "sharded_img_per_s": sharded_rate,
+            "optimizer_speedup": speedup,
+            "sharded_scaling": scaling,
+            "bit_exact": parity.bit_exact and sharded_parity.bit_exact,
+            "kernel_choices": dict(optimized_plan.kernel_choices or {}),
+            "optimizer_report": optimized_plan.report.to_dict(),
+        }
+        rows.append([name, f"{base_rate:.0f}", f"{opt_rate:.0f}",
+                     f"{speedup:.2f}x", f"{sharded_rate:.0f}", f"{scaling:.2f}x"])
+
+    # Per-step profile of the headline model's optimized plan.
+    headline = compile_registry_model(HEADLINE, image_size=IMAGE_SIZE,
+                                      batch_size=BATCH_SIZE, calibration_samples=16,
+                                      calibration_batch_size=8)
+    profile = headline.engine.profile(batches[0], repeats=5)
+
+    report_writer("engine_optimizer", format_table(
+        ["model", "baseline img/s", "optimized img/s", "speedup",
+         f"sharded x{WORKERS} img/s", "scaling"],
+        rows,
+        title=f"Optimizer pass pipeline + sharded execution — batch {BATCH_SIZE}, "
+              f"{IMAGE_SIZE}x{IMAGE_SIZE} inputs, {cores} core(s)",
+    ) + "\n\n" + profile.table())
+
+    payload = {
+        "benchmark": "engine_optimizer",
+        "image_size": IMAGE_SIZE,
+        "batch_size": BATCH_SIZE,
+        "workers": WORKERS,
+        "cpu_count": cores,
+        "blas_threads_pinned": os.environ.get("OPENBLAS_NUM_THREADS"),
+        "models": results,
+        "headline_profile": profile.to_dict(),
+        "unix_time": time.time(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    headline_speedup = results[HEADLINE]["optimizer_speedup"]
+    assert headline_speedup >= MIN_OPT_SPEEDUP, (
+        f"optimizer pass pipeline is only {headline_speedup:.2f}x on {HEADLINE} "
+        f"(required {MIN_OPT_SPEEDUP}x)"
+    )
+    if cores > 1:
+        # Sharding can only overlap when real cores exist; on single-core
+        # hosts the numbers are recorded but thread overhead is not a failure.
+        assert results[HEADLINE]["sharded_scaling"] > 1.05, (
+            f"sharded execution shows no scaling on a {cores}-core host: "
+            f"{results[HEADLINE]['sharded_scaling']:.2f}x"
+        )

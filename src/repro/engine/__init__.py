@@ -3,12 +3,15 @@
 Lowers quantized graphs (TQT power-of-2 thresholds) into linear plans of
 pure integer kernels — im2col conv / matmul accumulation, bit-shift
 requantization, fused bias + ReLU/ReLU6 — with preallocated buffer reuse,
-plus a batched serving runner and a bit-exactness parity checker against the
-float fake-quant simulation.
+a plan-level optimizer pass pipeline (epilogue fusion, weight prepacking,
+im2col elimination, per-layer backend autotuning), multicore sharded and
+branch-parallel execution, a batched serving runner, a per-step profiler
+and a bit-exactness parity checker against the float fake-quant simulation.
 """
 
 from .kernels import (
     EXACT_ACCUMULATOR_LIMIT,
+    FLOAT32_ACCUMULATOR_LIMIT,
     INT32_ACCUMULATOR_LIMIT,
     ConvGeometry,
 )
@@ -17,28 +20,52 @@ from .plan import (
     EngineOutput,
     ExecutionPlan,
     PlanError,
+    PlanProfile,
     QuantStage,
+    StepTiming,
     ValueMeta,
     lower_graph,
 )
+from .optimizer import (
+    OptimizationReport,
+    OptimizedPlan,
+    autotune_engine,
+    optimize_plan,
+)
+from .parallel import BranchParallelEngine, ShardedRunner
 from .runner import BatchedRunner, RequestResult, RunnerStats
-from .parity import ParityReport, check_engine_parity, simulate_reference
+from .parity import (
+    ParityReport,
+    check_engine_parity,
+    check_plan_parity,
+    simulate_reference,
+)
 
 __all__ = [
     "EXACT_ACCUMULATOR_LIMIT",
+    "FLOAT32_ACCUMULATOR_LIMIT",
     "INT32_ACCUMULATOR_LIMIT",
     "ConvGeometry",
     "CompiledEngine",
     "EngineOutput",
     "ExecutionPlan",
     "PlanError",
+    "PlanProfile",
     "QuantStage",
+    "StepTiming",
     "ValueMeta",
     "lower_graph",
+    "OptimizationReport",
+    "OptimizedPlan",
+    "autotune_engine",
+    "optimize_plan",
+    "BranchParallelEngine",
+    "ShardedRunner",
     "BatchedRunner",
     "RequestResult",
     "RunnerStats",
     "ParityReport",
     "check_engine_parity",
+    "check_plan_parity",
     "simulate_reference",
 ]

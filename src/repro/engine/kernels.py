@@ -32,6 +32,7 @@ from ..autograd.conv import conv_output_size
 
 __all__ = [
     "EXACT_ACCUMULATOR_LIMIT",
+    "FLOAT32_ACCUMULATOR_LIMIT",
     "INT32_ACCUMULATOR_LIMIT",
     "ConvGeometry",
     "assert_exact_accumulation",
@@ -39,11 +40,17 @@ __all__ = [
     "depthwise_accumulate",
     "matmul_accumulate",
     "max_pool_codes",
+    "pointwise_accumulate",
 ]
 
 # float64 integer lanes are exact up to 2^53; int32 MAC hardware up to 2^31.
 EXACT_ACCUMULATOR_LIMIT = 2 ** 53
 INT32_ACCUMULATOR_LIMIT = 2 ** 31
+# float32 integer lanes are exact up to 2^24 — steps whose worst-case
+# accumulator provably stays below this can run in float32 (half the memory
+# traffic, sgemm instead of dgemm) and remain bit-exact.  The optimizer's
+# backend autotuner gates its float32 kernel variants on this bound.
+FLOAT32_ACCUMULATOR_LIMIT = 2 ** 24
 
 
 def assert_exact_accumulation(bound: int, where: str) -> None:
@@ -78,6 +85,13 @@ class ConvGeometry:
     stride: tuple[int, int]
     padding: tuple[int, int]
     groups: int
+    #: lane dtype of the staging buffers; float32 is only exact below 2^24
+    #: and must be gated by the caller (see FLOAT32_ACCUMULATOR_LIMIT).
+    dtype: object = np.float64
+    #: optional ``scratch(key, shape, dtype, zero) -> ndarray`` provider that
+    #: lets the binder share staging buffers across steps (sequential
+    #: execution only).  ``None`` allocates private buffers.
+    scratch: object = None
     out_height: int = field(init=False)
     out_width: int = field(init=False)
     _padded: np.ndarray | None = field(init=False, default=None)
@@ -85,28 +99,42 @@ class ConvGeometry:
 
     def __post_init__(self) -> None:
         kh, kw = self.kernel
+        self.dtype = np.dtype(self.dtype)
         self.out_height = conv_output_size(self.height, kh, self.stride[0], self.padding[0])
         self.out_width = conv_output_size(self.width, kw, self.stride[1], self.padding[1])
         ph, pw = self.padding
-        if ph or pw:
-            self._padded = np.zeros(
-                (self.batch, self.in_channels, self.height + 2 * ph, self.width + 2 * pw)
-            )
+        if ph or pw or self.dtype != np.float64:
+            # Padding needs a zero-bordered staging copy; non-float64 lanes
+            # need a cast staging copy even without padding.
+            padded_shape = (self.batch, self.in_channels,
+                            self.height + 2 * ph, self.width + 2 * pw)
+            if self.scratch is not None:
+                # The zeroed border survives sharing only between steps that
+                # overwrite the same interior, hence the geometry in the key.
+                self._padded = self.scratch(
+                    ("conv_padded", ph, pw, self.height, self.width),
+                    padded_shape, self.dtype, bool(ph or pw))
+            else:
+                self._padded = np.zeros(padded_shape, dtype=self.dtype)
         if self.is_depthwise:
             self._cols = None  # depthwise contracts the window view directly
         else:
             m = self.batch * self.out_height * self.out_width
             k = (self.in_channels // self.groups) * kh * kw
-            self._cols = np.empty((self.groups, m, k))
+            cols_shape = (self.groups, m, k)
+            if self.scratch is not None:
+                self._cols = self.scratch(("conv_cols",), cols_shape, self.dtype, False)
+            else:
+                self._cols = np.empty(cols_shape, dtype=self.dtype)
 
     @classmethod
     def from_module(cls, batch: int, in_channels: int, height: int, width: int,
-                    out_channels: int, kernel_size, stride, padding, groups: int
-                    ) -> "ConvGeometry":
+                    out_channels: int, kernel_size, stride, padding, groups: int,
+                    dtype=np.float64, scratch=None) -> "ConvGeometry":
         return cls(batch=batch, in_channels=in_channels, height=height, width=width,
                    out_channels=out_channels, kernel=_normalize_pair(kernel_size),
                    stride=_normalize_pair(stride), padding=_normalize_pair(padding),
-                   groups=int(groups))
+                   groups=int(groups), dtype=dtype, scratch=scratch)
 
     @property
     def output_shape(self) -> tuple[int, int, int, int]:
@@ -197,6 +225,44 @@ def conv_accumulate(geometry: ConvGeometry, x: np.ndarray, weight_t: np.ndarray,
         acc_view.transpose(1, 0, 4, 2, 3),
     )
     return image
+
+
+def pointwise_accumulate(x: np.ndarray, weight: np.ndarray, acc: np.ndarray,
+                         staging: np.ndarray | None = None,
+                         subsample: tuple[int, int] | None = None,
+                         mode: str = "blas") -> np.ndarray:
+    """1x1 convolution as a direct channel-axis GEMM — no im2col.
+
+    A pointwise (1x1, ungrouped, unpadded) convolution is ``weight (O, C)``
+    contracted against the channel axis of ``x (N, C, H, W)``; the batched
+    matmul ``weight @ x.reshape(N, C, H*W)`` produces the output image in
+    NCHW order directly, so both the im2col column copy and the
+    group-major accumulator transpose disappear.
+
+    Parameters
+    ----------
+    x: input codes ``(N, C, H, W)`` in float64 lanes.
+    weight: weight codes ``(O, C)`` in the accumulator's lane dtype.
+    acc: accumulator ``(N, O, OH*OW)``; an ``out.reshape`` view of the NCHW
+        output buffer when the epilogue runs in the same lanes.
+    staging: optional ``(N, C, OH, OW)`` staging buffer — required to avoid
+        per-call allocation when ``subsample`` is set (the strided view
+        cannot be reshaped in place) or when the lanes are float32 (cast).
+    subsample: optional ``(sh, sw)`` spatial stride of the 1x1 conv.
+    """
+    n, c = x.shape[:2]
+    if subsample is not None:
+        sh, sw = subsample
+        x = x[:, :, ::sh, ::sw]
+    if staging is not None:
+        np.copyto(staging, x)
+        x = staging
+    src = x.reshape(n, c, x.shape[2] * x.shape[3])
+    if mode == "int":
+        acc[...] = weight.astype(np.int64) @ src.astype(np.int64)
+    else:
+        np.matmul(weight, src, out=acc)
+    return acc
 
 
 def matmul_accumulate(x: np.ndarray, weight_t: np.ndarray, acc: np.ndarray,

@@ -19,7 +19,8 @@ from ..autograd import Tensor, no_grad
 from ..graph.ir import GraphIR
 from .plan import CompiledEngine
 
-__all__ = ["ParityReport", "check_engine_parity", "simulate_reference"]
+__all__ = ["ParityReport", "check_engine_parity", "check_plan_parity",
+           "simulate_reference"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,24 @@ def simulate_reference(graph: GraphIR, batch: np.ndarray) -> np.ndarray:
     return out
 
 
+def _code_parity(code_pairs, labels: tuple[str, str]) -> ParityReport:
+    """Reduce (reference, candidate) code pairs into a :class:`ParityReport`."""
+    total = mismatched = batches = 0
+    max_diff = 0
+    for reference_codes, candidate_codes in code_pairs:
+        batches += 1
+        if reference_codes.shape != candidate_codes.shape:
+            raise ValueError(f"shape mismatch: {labels[0]} {reference_codes.shape} vs "
+                             f"{labels[1]} {candidate_codes.shape}")
+        diff = np.abs(reference_codes - candidate_codes)
+        total += diff.size
+        mismatched += int(np.count_nonzero(diff))
+        if diff.size:
+            max_diff = max(max_diff, int(diff.max()))
+    return ParityReport(batches=batches, total_codes=total,
+                        mismatched_codes=mismatched, max_code_difference=max_diff)
+
+
 def check_engine_parity(graph: GraphIR, engine: CompiledEngine,
                         batches: list[np.ndarray]) -> ParityReport:
     """Assert-free parity comparison over a list of input batches.
@@ -60,20 +79,28 @@ def check_engine_parity(graph: GraphIR, engine: CompiledEngine,
     to codes with the engine's output scale so the comparison happens on the
     integer grid the hardware would see.
     """
-    total = mismatched = 0
-    max_diff = 0
     scale = (2.0 ** engine.output_meta.fraction) * engine.output_meta.divisor
-    for batch in batches:
-        reference = simulate_reference(graph, batch)
-        reference_codes = np.rint(reference * scale).astype(np.int64)
-        engine_codes = engine.run(batch).codes.astype(np.int64)
-        if reference_codes.shape != engine_codes.shape:
-            raise ValueError(f"shape mismatch: simulation {reference_codes.shape} vs "
-                             f"engine {engine_codes.shape}")
-        diff = np.abs(reference_codes - engine_codes)
-        total += diff.size
-        mismatched += int(np.count_nonzero(diff))
-        if diff.size:
-            max_diff = max(max_diff, int(diff.max()))
-    return ParityReport(batches=len(batches), total_codes=total,
-                        mismatched_codes=mismatched, max_code_difference=max_diff)
+    return _code_parity(
+        ((np.rint(simulate_reference(graph, batch) * scale).astype(np.int64),
+          engine.run(batch).codes.astype(np.int64)) for batch in batches),
+        labels=("simulation", "engine"))
+
+
+def check_plan_parity(baseline, candidate, batches: list[np.ndarray]) -> ParityReport:
+    """Compare two engine-like executors code-for-code on the same batches.
+
+    This is the optimizer's acceptance gate: an optimized plan (or a sharded
+    / branch-parallel executor) must reproduce the unoptimized engine's
+    output codes *exactly* on every input.  Both arguments just need the
+    ``run(batch) -> EngineOutput`` interface; their output scales must agree.
+    """
+    if (baseline.output_meta.fraction != candidate.output_meta.fraction
+            or baseline.output_meta.divisor != candidate.output_meta.divisor):
+        raise ValueError(
+            f"output scales disagree: baseline f={baseline.output_meta.fraction} "
+            f"d={baseline.output_meta.divisor} vs candidate "
+            f"f={candidate.output_meta.fraction} d={candidate.output_meta.divisor}")
+    return _code_parity(
+        ((baseline.run(batch).codes.astype(np.int64),
+          candidate.run(batch).codes.astype(np.int64)) for batch in batches),
+        labels=("baseline", "candidate"))

@@ -23,6 +23,7 @@ model in the registry.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +59,8 @@ __all__ = [
     "ExecutionPlan",
     "CompiledEngine",
     "EngineOutput",
+    "StepTiming",
+    "PlanProfile",
     "lower_graph",
 ]
 
@@ -164,22 +167,32 @@ class _BufferPool:
     """Exact-shape free-list allocator used by the linear-scan binder."""
 
     def __init__(self) -> None:
-        self._free: dict[tuple[int, ...], list[np.ndarray]] = {}
+        self._free: dict[tuple, list[np.ndarray]] = {}
         self.buffers_created = 0
         self.bytes_created = 0
 
-    def acquire(self, shape: tuple[int, ...]) -> np.ndarray:
+    def acquire(self, shape: tuple[int, ...], dtype=np.float64,
+                fresh: bool = False) -> np.ndarray:
+        """Hand out a buffer; ``fresh=True`` bypasses the free list.
+
+        A recycled buffer may double as an earlier step's output storage
+        (written every forward pass), which is fine for storage that is
+        fully overwritten before each use but fatal for buffers that rely
+        on contents persisting across passes (zero-padded borders).
+        """
         shape = tuple(int(s) for s in shape)
-        free = self._free.get(shape)
-        if free:
-            return free.pop()
+        dtype = np.dtype(dtype)
+        if not fresh:
+            free = self._free.get((shape, dtype))
+            if free:
+                return free.pop()
         self.buffers_created += 1
-        buffer = np.empty(shape, dtype=np.float64)
+        buffer = np.empty(shape, dtype=dtype)
         self.bytes_created += buffer.nbytes
         return buffer
 
     def release(self, buffer: np.ndarray) -> None:
-        self._free.setdefault(buffer.shape, []).append(buffer)
+        self._free.setdefault((buffer.shape, buffer.dtype), []).append(buffer)
 
 
 @dataclass
@@ -192,9 +205,41 @@ class _BoundValue:
 
 
 class _BindContext:
-    def __init__(self, pool: _BufferPool, accumulate: str) -> None:
+    def __init__(self, pool: _BufferPool, accumulate: str,
+                 share_scratch: bool = True) -> None:
         self.pool = pool
         self.accumulate = accumulate
+        self._scratch: dict | None = {} if share_scratch else None
+
+    def scratch(self, key, shape: tuple[int, ...], dtype=np.float64,
+                zero: bool = False) -> np.ndarray:
+        """Persistent per-engine scratch buffer, shared across steps by key.
+
+        Steps run sequentially and fully consume their scratch (columns,
+        accumulators, cast staging) within one ``run`` call, so steps whose
+        scratch agrees on ``(key, shape, dtype)`` can share a single buffer.
+        ``zero`` buffers are zero-filled at creation and allocated *fresh*
+        (never from the free list): their zeros must survive across passes,
+        so they can never alias a recycled step-output buffer.  Sharers of a
+        zeroed buffer must key on everything that determines which region
+        they overwrite (e.g. the padded-input interior).  When sharing is
+        disabled (branch-parallel execution), every request gets a private
+        buffer.
+        """
+        shape = tuple(int(s) for s in shape)
+        if self._scratch is None:
+            buffer = self.pool.acquire(shape, dtype, fresh=zero)
+            if zero:
+                buffer[...] = 0
+            return buffer
+        full_key = (key, shape, np.dtype(dtype))
+        buffer = self._scratch.get(full_key)
+        if buffer is None:
+            buffer = self.pool.acquire(shape, dtype, fresh=zero)
+            if zero:
+                buffer[...] = 0
+            self._scratch[full_key] = buffer
+        return buffer
 
 
 # ---------------------------------------------------------------------- #
@@ -820,6 +865,50 @@ def lower_graph(graph: GraphIR) -> "ExecutionPlan":
 
 
 # ---------------------------------------------------------------------- #
+# Profiling
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StepTiming:
+    """Mean wall time of one plan step inside a profiled forward pass."""
+
+    name: str
+    op: str
+    mean_ms: float
+    share: float                 # fraction of the total per-pass time
+    variant: str | None = None   # kernel variant, when the step is tunable
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """Per-step timing breakdown of a compiled engine (``engine.profile()``)."""
+
+    graph_name: str
+    input_shape: tuple[int, ...]
+    repeats: int
+    steps: list[StepTiming]
+    total_ms: float
+
+    def table(self) -> str:
+        lines = [f"Plan profile {self.graph_name!r} — input {self.input_shape}, "
+                 f"{self.repeats} passes, {self.total_ms:.3f} ms/pass"]
+        for timing in self.steps:
+            variant = f" [{timing.variant}]" if timing.variant else ""
+            lines.append(f"  {timing.name:<40s} {timing.op:<18s} "
+                         f"{timing.mean_ms:8.3f} ms  {100 * timing.share:5.1f}%{variant}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "input_shape": list(self.input_shape),
+            "repeats": self.repeats,
+            "total_ms": self.total_ms,
+            "steps": [{"name": t.name, "op": t.op, "mean_ms": t.mean_ms,
+                       "share": t.share, "variant": t.variant} for t in self.steps],
+        }
+
+
+# ---------------------------------------------------------------------- #
 # The plan and its compiled form
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -844,20 +933,22 @@ class ExecutionPlan:
     output_name: str
     steps: list = field(default_factory=list)
 
-    def bind(self, input_shape: tuple[int, ...], accumulate: str = "blas"
-             ) -> "CompiledEngine":
+    def bind(self, input_shape: tuple[int, ...], accumulate: str = "blas",
+             reuse_buffers: bool = True) -> "CompiledEngine":
         """Bind the plan to a concrete input shape.
 
         Infers shapes and value metadata, stages weights for the requested
         accumulation backend (``"blas"`` exact float64 lanes or ``"int"``
         pure int64), verifies accumulator ranges, and assigns every step an
-        output buffer with linear-scan reuse.
+        output buffer with linear-scan reuse.  ``reuse_buffers=False`` gives
+        every step a private output buffer and private scratch — required
+        when steps may execute concurrently (branch-parallel engines).
         """
         if accumulate not in ("blas", "int"):
             raise ValueError(f"unknown accumulation mode {accumulate!r}")
         input_shape = tuple(int(s) for s in input_shape)
         pool = _BufferPool()
-        ctx = _BindContext(pool, accumulate)
+        ctx = _BindContext(pool, accumulate, share_scratch=reuse_buffers)
 
         slots = {self.input_name: 0}
         for i, step in enumerate(self.steps):
@@ -893,14 +984,24 @@ class ExecutionPlan:
             bound_steps.append(bound)
             values[step.name] = _BoundValue(slot=slots[step.name], shape=out_shape,
                                             meta=out_meta)
-            for k, last in list(last_use.items()):
-                if last == i and k in buffers:
-                    pool.release(buffers.pop(k))
+            if reuse_buffers:
+                for k, last in list(last_use.items()):
+                    if last == i and k in buffers:
+                        pool.release(buffers.pop(k))
         output_value = values[self.output_name]
         return CompiledEngine(plan=self, steps=bound_steps, input_shape=input_shape,
                               output_slot=output_value.slot, output_shape=output_value.shape,
                               output_meta=output_value.meta, slot_count=len(self.steps) + 1,
                               pool=pool, accumulate=accumulate)
+
+    def profile(self, input_shape: tuple[int, ...], accumulate: str = "blas",
+                repeats: int = 5, x: np.ndarray | None = None) -> PlanProfile:
+        """Bind the plan and return a per-step timing breakdown.
+
+        Convenience wrapper over :meth:`CompiledEngine.profile`; reuse an
+        existing engine's ``profile()`` to avoid the throwaway bind.
+        """
+        return self.bind(input_shape, accumulate=accumulate).profile(x=x, repeats=repeats)
 
     # ------------------------------------------------------------------ #
     def summary(self) -> str:
@@ -916,6 +1017,10 @@ class ExecutionPlan:
         weight_bytes = 0
         for step in self.steps:
             entry: dict = {"name": step.name, "op": step.op, "detail": step.describe()}
+            # Optimizer wrappers (fused activations) impersonate their inner
+            # compute step; unwrap so the manifest keeps the weight rows.
+            while not isinstance(step, _ComputeStep) and hasattr(step, "inner"):
+                step = step.inner
             if isinstance(step, _ComputeStep):
                 entry.update({
                     "weight_dtype": str(step.weight_codes.dtype),
@@ -966,12 +1071,7 @@ class CompiledEngine:
     def batch_size(self) -> int:
         return self.input_shape[0]
 
-    def run(self, x: np.ndarray) -> EngineOutput:
-        """Execute the plan on a float input batch, returning integer codes.
-
-        The returned codes are a fresh array; internal buffers are reused
-        across calls and must not leak to callers.
-        """
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != self.input_shape:
             raise ValueError(f"engine is bound to input shape {self.input_shape}, "
@@ -979,6 +1079,15 @@ class CompiledEngine:
         if not np.isfinite(x).all():
             raise ValueError("engine inputs must be finite; got NaN or Inf values "
                              "(quantization codes for non-finite inputs are undefined)")
+        return x
+
+    def run(self, x: np.ndarray) -> EngineOutput:
+        """Execute the plan on a float input batch, returning integer codes.
+
+        The returned codes are a fresh array; internal buffers are reused
+        across calls and must not leak to callers.
+        """
+        x = self._check_input(x)
         env = self._env
         env[0] = x  # steps only read the input; no defensive copy needed
         for step in self.steps:
@@ -986,6 +1095,39 @@ class CompiledEngine:
         codes = env[self.output_slot].astype(self._codes_dtype)
         return EngineOutput(codes=codes, fraction=self.output_meta.fraction,
                             divisor=self.output_meta.divisor)
+
+    def profile(self, x: np.ndarray | None = None, repeats: int = 5,
+                warmup: int = 1) -> PlanProfile:
+        """Per-step wall-time breakdown over ``repeats`` full forward passes.
+
+        Steps execute in plan order on the real environment, so every step
+        sees its true input; only the timing instrumentation is added.  This
+        is the signal the backend autotuner consumes and the first place to
+        look when deciding which op to optimize next.
+        """
+        if x is None:
+            x = np.zeros(self.input_shape)
+        x = self._check_input(x)
+        env = self._env
+        totals = [0.0] * len(self.steps)
+        for pass_index in range(warmup + repeats):
+            env[0] = x
+            for i, step in enumerate(self.steps):
+                start = time.perf_counter()
+                step.run(env)
+                elapsed = time.perf_counter() - start
+                if pass_index >= warmup:
+                    totals[i] += elapsed
+        total = sum(totals) or 1.0
+        timings = [
+            StepTiming(name=bound.step.name, op=bound.step.op,
+                       mean_ms=t / repeats * 1e3, share=t / total,
+                       variant=getattr(bound, "variant", None))
+            for bound, t in zip(self.steps, totals)
+        ]
+        return PlanProfile(graph_name=self.plan.graph_name, input_shape=self.input_shape,
+                           repeats=repeats, steps=timings,
+                           total_ms=sum(t.mean_ms for t in timings))
 
     def run_partial(self, images: np.ndarray) -> EngineOutput:
         """Execute a partially filled batch of ``1 <= fill <= batch_size`` images.

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .parallel import ShardedRunner
 from .plan import CompiledEngine
 
 __all__ = ["RequestResult", "RunnerStats", "BatchedRunner"]
@@ -48,6 +49,7 @@ class RunnerStats:
     latency_p90_ms: float = 0.0
     latency_p95_ms: float = 0.0
     latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
     _latencies_ms: list[float] = field(default_factory=list, repr=False)
 
     def finalize(self) -> None:
@@ -62,6 +64,7 @@ class RunnerStats:
         self.latency_p90_ms = float(np.percentile(latencies, 90))
         self.latency_p95_ms = float(np.percentile(latencies, 95))
         self.latency_p99_ms = float(np.percentile(latencies, 99))
+        self.latency_max_ms = float(latencies.max())
 
     def to_dict(self) -> dict:
         """JSON-serializable view (used by ``BENCH_engine.json``)."""
@@ -77,16 +80,43 @@ class RunnerStats:
             "latency_p90_ms": self.latency_p90_ms,
             "latency_p95_ms": self.latency_p95_ms,
             "latency_p99_ms": self.latency_p99_ms,
+            "latency_max_ms": self.latency_max_ms,
         }
 
 
 class BatchedRunner:
-    """Coalesce single-image requests into fixed-size engine batches."""
+    """Coalesce single-image requests into fixed-size engine batches.
 
-    def __init__(self, engine: CompiledEngine) -> None:
+    ``workers > 1`` shards every batch across a thread pool of per-shard
+    engines (see :class:`~repro.engine.parallel.ShardedRunner`); the request
+    codes are identical to the single-engine execution, only the compute
+    time changes.  A :class:`ShardedRunner` may also be passed directly as
+    ``engine``.
+    """
+
+    def __init__(self, engine: CompiledEngine | ShardedRunner, *,
+                 workers: int = 1) -> None:
+        if workers > 1:
+            if not isinstance(engine, CompiledEngine):
+                raise ValueError("workers > 1 requires a CompiledEngine to shard; "
+                                 "pass an already-sharded runner as engine instead")
+            engine = ShardedRunner(engine.plan, engine.input_shape, workers=workers,
+                                   accumulate=engine.accumulate)
         self.engine = engine
         self.batch_size = engine.batch_size
         self._staging = np.zeros(engine.input_shape, dtype=engine.input_dtype)
+
+    def close(self) -> None:
+        """Release the sharded engine's thread pool (no-op for a plain engine)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "BatchedRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, images: np.ndarray, arrival_times_s: np.ndarray | None = None
             ) -> tuple[list[RequestResult], RunnerStats]:

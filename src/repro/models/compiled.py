@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data import SyntheticImageNet, sample_calibration_batches
+from ..engine.optimizer import optimize_plan
 from ..engine.plan import CompiledEngine, ExecutionPlan, lower_graph
 from ..graph import QuantizedModel, quantize_static, transforms
 from ..quant.config import LayerPrecision
@@ -35,6 +36,8 @@ class CompiledModel:
     calibration_batches: list[np.ndarray]
     image_size: int
     num_classes: int
+    #: optimizer pass report when the plan went through ``optimize_plan``
+    optimization: dict | None = None
 
     @property
     def graph(self):
@@ -49,6 +52,7 @@ def compile_registry_model(name: str, *, num_classes: int = 10,
                            sequential_calibration: bool = False,
                            precision: LayerPrecision | None = None,
                            accumulate: str = "blas", seed: int = 0,
+                           optimize: bool = True, autotune: bool = True,
                            **model_kwargs) -> CompiledModel:
     """Build, quantize and compile a registry model for integer inference.
 
@@ -58,6 +62,12 @@ def compile_registry_model(name: str, *, num_classes: int = 10,
     layer-by-layer procedure for speed (the engine is bit-exact either way —
     parity is against the resulting fake-quant graph, not the calibration
     recipe).
+
+    ``optimize`` runs the plan optimizer pass pipeline (epilogue fusion,
+    weight prepacking, im2col elimination, backend autotuning) before
+    binding; the optimized plan is bit-exact against the unoptimized one.
+    ``autotune=False`` keeps the optimizer's default kernel variants and
+    skips the bind-time micro-profiling.
     """
     try:
         spec = MODEL_REGISTRY[name]
@@ -79,8 +89,12 @@ def compile_registry_model(name: str, *, num_classes: int = 10,
                                 sequential=sequential_calibration, copy=False)
 
     plan = lower_graph(quantized.graph)
+    optimization = None
+    if optimize:
+        plan = optimize_plan(plan, autotune=autotune)
+        optimization = plan.report.to_dict()
     engine = plan.bind((batch_size, spec.in_channels, image_size, image_size),
                        accumulate=accumulate)
     return CompiledModel(spec=spec, quantized=quantized, plan=plan, engine=engine,
-                        calibration_batches=calibration, image_size=image_size,
-                        num_classes=num_classes)
+                         calibration_batches=calibration, image_size=image_size,
+                         num_classes=num_classes, optimization=optimization)

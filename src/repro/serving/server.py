@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..engine.parallel import ShardedRunner
 from ..models.registry import MODEL_REGISTRY, available_models
 from .admission import AdmissionController, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
@@ -106,7 +107,8 @@ class FleetServer:
                  cache_capacity: int | None = None,
                  compile_kwargs: dict | None = None,
                  compute_time_fn: Callable[[str, int], float] | None = None,
-                 warm: bool = True) -> None:
+                 warm: bool = True,
+                 workers: int = 1) -> None:
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must name at least one registry model")
@@ -133,6 +135,13 @@ class FleetServer:
         self.admission = AdmissionController(
             admission if admission is not None else AdmissionPolicy(), self.cost_model)
         self.compute_time_fn = compute_time_fn
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        #: per-model sharded executors; a PlanCache recompile produces a new
+        #: plan object, which invalidates the old executor (identity check on
+        #: the live plan the runner holds — never on a freeable id())
+        self._sharded: dict[str, ShardedRunner] = {}
         if warm:
             self.warm_up()
 
@@ -151,10 +160,32 @@ class FleetServer:
             if self.compute_time_fn is not None:
                 self.cost_model.prime(name, self.compute_time_fn(name, self.batch_size))
                 continue
+            engine = self._engine(name, compiled)
             probe = np.zeros(compiled.engine.input_shape)
             start = time.perf_counter()
-            compiled.engine.run(probe)
+            engine.run(probe)
             self.cost_model.prime(name, time.perf_counter() - start)
+
+    def _engine(self, name: str, compiled):
+        """The executor for one compiled model: plain or sharded (workers>1)."""
+        if self.workers <= 1:
+            return compiled.engine
+        runner = self._sharded.get(name)
+        if runner is not None and runner.plan is compiled.plan:
+            return runner
+        if runner is not None:
+            runner.close()
+        runner = ShardedRunner(compiled.plan, compiled.engine.input_shape,
+                               workers=self.workers,
+                               accumulate=compiled.engine.accumulate)
+        self._sharded[name] = runner
+        return runner
+
+    def close(self) -> None:
+        """Release the sharded executors' thread pools (no-op for workers=1)."""
+        for runner in self._sharded.values():
+            runner.close()
+        self._sharded.clear()
 
     @property
     def input_shapes(self) -> dict[str, tuple[int, int, int]]:
@@ -236,9 +267,10 @@ class FleetServer:
             batch = queues[model].pop_batch()
             fill = len(batch)
             compiled = self.cache.get(model)
+            engine = self._engine(model, compiled)
             images = np.stack([r.image for r in batch])
             start = time.perf_counter()
-            output = compiled.engine.run_partial(images)
+            output = engine.run_partial(images)
             measured = time.perf_counter() - start
             compute = (self.compute_time_fn(model, fill)
                        if self.compute_time_fn is not None else measured)

@@ -1,0 +1,277 @@
+"""Optimizer pass pipeline and multicore execution: bit-exactness, fused-step
+introspection, sharded/branch-parallel parity, profiler and autotune caching."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchedRunner,
+    BranchParallelEngine,
+    OptimizedPlan,
+    ShardedRunner,
+    check_plan_parity,
+    optimize_plan,
+)
+from repro.engine.plan import ExecutionPlan, _ActivationOnlyStep
+from repro.graph.ir import OpKind
+from repro.models import MODEL_REGISTRY, compile_registry_model
+
+IMAGE_SIZE = 8  # keeps every global-average-pool window a power of two
+BATCH = 4
+
+
+def _compile(name: str, **kwargs):
+    return compile_registry_model(name, image_size=IMAGE_SIZE, batch_size=BATCH,
+                                  calibration_samples=8, calibration_batch_size=4,
+                                  **kwargs)
+
+
+def _batches(count: int = 2, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE)) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return _compile("mobilenet_v1_nano", optimize=False)
+
+
+@pytest.fixture(scope="module")
+def inception():
+    return _compile("inception_nano", optimize=False)
+
+
+# ---------------------------------------------------------------------- #
+# Parity: optimized plan vs unoptimized plan on every registry model
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_optimized_plan_bit_exact_on_registry_model(model_name):
+    compiled = _compile(model_name, optimize=False)
+    optimized = optimize_plan(compiled.plan)
+    engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    batches = _batches(2)
+    report = check_plan_parity(compiled.engine, engine, batches)
+    assert report.bit_exact, f"{model_name}: {report}"
+    assert report.total_codes > 0
+    # Repeat the comparison: cross-pass state (shared scratch, zero-padded
+    # borders) must not corrupt later passes.
+    again = check_plan_parity(compiled.engine, engine, batches)
+    assert again.bit_exact, f"{model_name} second pass: {again}"
+
+
+def test_optimized_int_backend_matches_baseline(mobilenet):
+    optimized = optimize_plan(mobilenet.plan)
+    engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE), accumulate="int")
+    report = check_plan_parity(mobilenet.engine, engine, _batches(1))
+    assert report.bit_exact, str(report)
+
+
+def test_every_kernel_variant_is_bit_exact(mobilenet):
+    """Force each variant on every tunable step; all must reproduce baseline."""
+    batches = _batches(1)
+    seen = set()
+    for variant in ("blas", "blas32", "wingemm", "wingemm32", "int"):
+        optimized = optimize_plan(mobilenet.plan, autotune=False)
+        engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+        forced = 0
+        for bound in engine.steps:
+            if hasattr(bound, "variants") and variant in bound.variants:
+                bound.set_variant(variant)
+                forced += 1
+        if not forced:
+            continue
+        seen.add(variant)
+        report = check_plan_parity(mobilenet.engine, engine, batches)
+        assert report.bit_exact, f"variant {variant}: {report}"
+    assert {"blas", "blas32", "int"} <= seen
+
+
+def test_compile_registry_model_defaults_to_optimized(mobilenet):
+    compiled = _compile("mobilenet_v1_nano")
+    assert isinstance(compiled.plan, OptimizedPlan)
+    assert compiled.optimization is not None
+    assert compiled.optimization["pointwise_lowered"] == 4
+    assert compiled.optimization["depthwise_direct"] == 4
+    assert compiled.plan.kernel_choices, "autotune should cache kernel choices"
+    report = check_plan_parity(mobilenet.engine, compiled.engine, _batches(2))
+    assert report.bit_exact, str(report)
+
+
+# ---------------------------------------------------------------------- #
+# Fused-step describe() round-trip
+# ---------------------------------------------------------------------- #
+def test_fused_step_describe_round_trip(mobilenet):
+    optimized = optimize_plan(mobilenet.plan, autotune=False)
+    summary = optimized.summary()
+    markers = {"pointwise-gemm[no-im2col]": 0, "fused-epilogue[depthwise-direct]": 0,
+               "fused-epilogue[im2col]": 0, "fused-epilogue[gemm]": 0}
+    for step in optimized.steps:
+        text = step.describe()
+        for marker in markers:
+            if marker in text:
+                markers[marker] += 1
+        # Round-trip the output-stage annotation against the step's fields.
+        match = re.search(r"out→q(\d+) f=(-?\d+)", text)
+        if match and getattr(step, "output_stage", None) is not None:
+            assert int(match.group(1)) == step.output_stage.bits
+            assert int(match.group(2)) == step.output_stage.fraction
+        # Weight-fraction annotation must survive the rewrite too.
+        match = re.search(r"f_w=(-?\d+)", text)
+        if match:
+            assert int(match.group(1)) == step.weight_fraction
+        assert text in summary
+    assert markers["pointwise-gemm[no-im2col]"] == 4
+    assert markers["fused-epilogue[depthwise-direct]"] == 4
+    assert markers["fused-epilogue[im2col]"] == 1   # the stem conv
+    assert markers["fused-epilogue[gemm]"] == 1     # the classifier
+
+
+def test_manifest_reports_optimizer_and_choices(mobilenet):
+    optimized = optimize_plan(mobilenet.plan)
+    optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    manifest = optimized.manifest()
+    assert manifest["optimizer"]["pointwise_lowered"] == 4
+    assert "eliminate_im2col" in manifest["optimizer"]["passes"]
+    assert manifest["optimizer"]["prepacked_steps"] == 10
+    assert set(manifest["kernel_choices"]) == {
+        s["name"] for s in manifest["steps"] if "weight_dtype" in s}
+    assert manifest["int32_mac_compatible"]
+
+
+# ---------------------------------------------------------------------- #
+# Standalone-activation fusion
+# ---------------------------------------------------------------------- #
+def test_standalone_activation_fuses_into_producer(mobilenet):
+    plan = mobilenet.plan
+    relu = _ActivationOnlyStep("post_relu", OpKind.RELU, [plan.output_name])
+    extended = ExecutionPlan(graph_name=plan.graph_name, input_name=plan.input_name,
+                             output_name="post_relu", steps=list(plan.steps) + [relu])
+    optimized = optimize_plan(extended, autotune=False)
+    assert len(optimized.steps) == len(extended.steps) - 1
+    assert optimized.report.activations_fused == 1
+    assert optimized.output_name == plan.output_name
+    assert "+relu[fused]" in optimized.summary()
+    # The fused wrapper must not hide its compute step from the manifest.
+    baseline_manifest = optimize_plan(plan, autotune=False).manifest()
+    fused_manifest = optimized.manifest()
+    assert fused_manifest["weight_bytes"] == baseline_manifest["weight_bytes"]
+    assert (sum("weight_dtype" in s for s in fused_manifest["steps"])
+            == sum("weight_dtype" in s for s in baseline_manifest["steps"]))
+    base = extended.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    report = check_plan_parity(base, engine, _batches(2))
+    assert report.bit_exact, str(report)
+    # The fold must actually clamp: logits contain negatives pre-ReLU.
+    codes = engine.run(_batches(1)[0]).codes
+    assert codes.min() == 0
+
+
+# ---------------------------------------------------------------------- #
+# ShardedRunner
+# ---------------------------------------------------------------------- #
+def test_sharded_runner_matches_single_engine(mobilenet):
+    optimized = optimize_plan(mobilenet.plan)
+    engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    (batch,) = _batches(1)
+    reference = engine.run(batch).codes
+    with ShardedRunner(optimized, (BATCH, 3, IMAGE_SIZE, IMAGE_SIZE), workers=1) as one:
+        with ShardedRunner(optimized, (BATCH, 3, IMAGE_SIZE, IMAGE_SIZE), workers=4) as four:
+            codes_one = one.run(batch).codes
+            codes_four = four.run(batch).codes
+            np.testing.assert_array_equal(codes_one, codes_four)
+            np.testing.assert_array_equal(codes_one, reference)
+            # Variable fill must agree with the engine's partial execution.
+            partial = engine.run_partial(batch[:3]).codes
+            np.testing.assert_array_equal(four.run_partial(batch[:3]).codes, partial)
+            np.testing.assert_array_equal(one.run_partial(batch[:3]).codes, partial)
+    assert four.shard_sizes == [1, 1, 1, 1]
+
+
+def test_sharded_runner_clamps_workers_to_batch(mobilenet):
+    optimized = optimize_plan(mobilenet.plan)
+    runner = ShardedRunner(optimized, (2, 3, IMAGE_SIZE, IMAGE_SIZE), workers=8)
+    assert runner.workers == 2
+    out = runner.run(np.zeros((2, 3, IMAGE_SIZE, IMAGE_SIZE)))
+    assert out.codes.shape[0] == 2
+    runner.close()
+
+
+def test_batched_runner_workers_knob_is_bit_exact(mobilenet):
+    compiled = _compile("mobilenet_v1_nano")
+    rng = np.random.default_rng(3)
+    requests = rng.standard_normal((BATCH * 2 + 1, 3, IMAGE_SIZE, IMAGE_SIZE))
+    plain_results, plain_stats = BatchedRunner(compiled.engine).run(requests)
+    sharded_runner = BatchedRunner(compiled.engine, workers=2)
+    sharded_results, sharded_stats = sharded_runner.run(requests)
+    assert plain_stats.requests == sharded_stats.requests == len(requests)
+    for a, b in zip(plain_results, sharded_results):
+        np.testing.assert_array_equal(a.codes, b.codes)
+    assert sharded_stats.latency_max_ms >= sharded_stats.latency_p99_ms
+    sharded_runner.close()
+
+
+# ---------------------------------------------------------------------- #
+# Branch-parallel execution
+# ---------------------------------------------------------------------- #
+def test_branch_parallel_engine_matches_sequential(inception):
+    optimized = optimize_plan(inception.plan)
+    sequential = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    with BranchParallelEngine(optimized, (BATCH, 3, IMAGE_SIZE, IMAGE_SIZE),
+                              workers=4) as parallel:
+        assert parallel.max_width > 1, "inception should expose parallel branches"
+        for batch in _batches(2):
+            np.testing.assert_array_equal(parallel.run(batch).codes,
+                                          sequential.run(batch).codes)
+        partial = parallel.run_partial(_batches(1)[0][:2])
+        np.testing.assert_array_equal(partial.codes,
+                                      sequential.run_partial(_batches(1)[0][:2]).codes)
+
+
+# ---------------------------------------------------------------------- #
+# Profiler and autotune caching
+# ---------------------------------------------------------------------- #
+def test_profile_breaks_down_per_step(mobilenet):
+    engine = optimize_plan(mobilenet.plan).bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    profile = engine.profile(repeats=2)
+    assert len(profile.steps) == len(mobilenet.plan.steps)
+    assert profile.total_ms > 0
+    assert abs(sum(t.share for t in profile.steps) - 1.0) < 1e-9
+    assert any(t.variant for t in profile.steps), "tunable steps report variants"
+    table = profile.table()
+    for timing in profile.steps:
+        assert timing.name in table
+    payload = profile.to_dict()
+    assert payload["graph"] == "mobilenet_v1_nano"
+    assert len(payload["steps"]) == len(profile.steps)
+
+
+def test_plan_profile_convenience_binds_and_times(mobilenet):
+    profile = mobilenet.plan.profile((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE), repeats=1)
+    assert profile.total_ms > 0
+
+
+def test_autotune_choices_cached_and_reapplied(mobilenet):
+    optimized = optimize_plan(mobilenet.plan)
+    assert optimized.kernel_choices is None
+    optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    choices = optimized.kernel_choices
+    assert choices, "first blas bind must autotune"
+    second = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    assert optimized.kernel_choices is choices, "second bind reuses the cache"
+    for bound in second.steps:
+        if hasattr(bound, "variant") and bound.step.name in choices:
+            assert bound.variant == choices[bound.step.name]
+
+
+def test_cached_choices_can_be_pinned(mobilenet):
+    optimized = optimize_plan(mobilenet.plan, autotune=False)
+    optimized.kernel_choices = {"dws1_dw": "int"}
+    engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    variants = {b.step.name: b.variant for b in engine.steps if hasattr(b, "variant")}
+    assert variants["dws1_dw"] == "int"
+    report = check_plan_parity(mobilenet.engine, engine, _batches(1))
+    assert report.bit_exact, str(report)

@@ -196,3 +196,22 @@ def test_input_shapes_property_matches_engines():
     after = server.cache.stats()
     # A diagnostics property must not perturb cache counters or LRU order.
     assert after["hits"] == before["hits"] and after["resident"] == before["resident"]
+
+
+def test_sharded_workers_serve_identical_codes():
+    """workers>1 shards batches across threads; request codes must not change."""
+    rng = np.random.default_rng(5)
+    requests = [Request(i, "lenet_nano", 0.0,
+                        rng.standard_normal((3, IMAGE_SIZE, IMAGE_SIZE)))
+                for i in range(BATCH + 3)]
+    plain = _server(BatchingPolicy.dynamic(BATCH, 5e-3),
+                    fleet=["lenet_nano"]).serve(requests)
+    sharded_server = _server(BatchingPolicy.dynamic(BATCH, 5e-3),
+                             fleet=["lenet_nano"], workers=2)
+    sharded = sharded_server.serve(requests)
+    assert sharded_server.workers == 2
+    assert plain.completed == sharded.completed == len(requests)
+    for a, b in zip(plain.outcomes, sharded.outcomes):
+        assert a.request_id == b.request_id
+        np.testing.assert_array_equal(a.codes, b.codes)
+    sharded_server.close()
