@@ -1,20 +1,25 @@
-"""Fixed-point deployment: compile a quantized model to the integer engine.
+"""Fixed-point deployment: one compile call, one artifact, zero recompiles.
 
 The paper's Graffitist flow emits a hardware-accurate inference graph whose
 CPU execution is bit-accurate to the FPGA fixed-point implementation
-(Section 4.2).  This example goes one step further than exporting integer
-weights: it *executes* the network end-to-end in integer arithmetic.
+(Section 4.2).  This example goes from that graph to a *shippable*
+deployment through the unified API:
 
-1. statically quantize a small CNN (TQT power-of-2 thresholds);
-2. lower the quantized graph to an integer execution plan — int8 weight
-   codes, int32-range accumulators, bit-shift requantization — and print it;
-3. run the plan optimizer (epilogue fusion, im2col elimination, weight
-   prepacking, per-layer backend autotuning), profile it per step and show
-   the unoptimized-vs-optimized throughput with bit-exact parity;
+1. ``repro.deploy.compile`` — build, statically quantize (TQT power-of-2
+   thresholds), lower to an integer plan, run the optimizer pass pipeline
+   and autotune kernel variants, all driven by one typed ``CompileConfig``;
+2. inspect the lowered plan: per-step listing plus the manifest rows a
+   deployment target cares about (weight codes, shift scales, accumulator
+   bounds, int32-MAC fit);
+3. show what the optimizer bought — unoptimized-vs-optimized throughput
+   with bit-exact parity — and the per-step profile;
 4. verify the whole network is bit-exact against the fake-quant simulation;
-5. serve a stream of requests through the batched runner — including the
-   multicore ``workers=N`` sharded mode — and report throughput and latency
-   percentiles.
+5. ``deployment.save`` / ``Deployment.load`` — persist the plan artifact
+   (prepacked weights + autotuned kernel choices, content-addressed) and
+   reload it with *zero* re-lowering/re-optimization/re-profiling,
+   bit-exact with the fresh compile;
+6. serve a request stream through ``deployment.runner()`` — including the
+   multicore ``workers=N`` sharded mode.
 
 Run with:  PYTHONPATH=src python examples/fixed_point_deployment.py
 (or just ``python examples/...`` after ``pip install -e .``)
@@ -22,32 +27,33 @@ Run with:  PYTHONPATH=src python examples/fixed_point_deployment.py
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
+from repro import deploy
 from repro.analysis import format_table
-from repro.engine import (
-    BatchedRunner,
-    check_engine_parity,
-    check_plan_parity,
-    lower_graph,
-)
-from repro.models import compile_registry_model
+from repro.engine import PIPELINE_COUNTERS, check_engine_parity, check_plan_parity, lower_graph
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
-    compiled = compile_registry_model("vgg_nano", num_classes=6, image_size=16,
-                                      batch_size=8, calibration_samples=32,
-                                      calibration_batch_size=8)
+    config = deploy.CompileConfig(
+        num_classes=6,
+        image_size=16,
+        quant=deploy.QuantConfig(calibration_samples=32, calibration_batch_size=8),
+        runtime=deploy.RuntimeConfig(batch_size=8),
+    )
+    deployment = deploy.compile("vgg_nano", config)
 
     # ------------------------------------------------------------------ #
     # The lowered integer plan: one line per step, plus the manifest rows
     # a deployment target cares about.
     # ------------------------------------------------------------------ #
-    print(compiled.plan.summary())
-    manifest = compiled.plan.manifest()
+    print(deployment.summary())
+    manifest = deployment.manifest()
     rows = []
     for layer in manifest["steps"]:
         if "weight_dtype" in layer:
@@ -65,15 +71,14 @@ def main() -> None:
           f"int32-MAC compatible: {manifest['int32_mac_compatible']}")
 
     # ------------------------------------------------------------------ #
-    # Optimizer pass pipeline: the compiled engine already went through it
-    # (compile_registry_model optimizes by default); bind the *unoptimized*
-    # plan too and show what the passes bought, bit-exactly.
+    # Optimizer pass pipeline: the deployment already went through it;
+    # bind the *unoptimized* plan too and show what the passes bought.
     # ------------------------------------------------------------------ #
     batches = [rng.standard_normal((8, 3, 16, 16)) for _ in range(4)]
-    baseline = lower_graph(compiled.graph).bind((8, 3, 16, 16))
-    print(f"\nOptimizer report: {compiled.optimization}")
-    print(f"Autotuned kernel variants: {compiled.plan.kernel_choices}")
-    parity = check_plan_parity(baseline, compiled.engine, batches[:2])
+    baseline = lower_graph(deployment.graph).bind((8, 3, 16, 16))
+    print(f"\nOptimizer pass log: {deployment.pass_log}")
+    print(f"Autotuned kernel variants: {deployment.kernel_choices}")
+    parity = check_plan_parity(baseline, deployment.engine, batches[:2])
     print(f"Optimized-vs-unoptimized parity: {parity}")
 
     def rate(engine) -> float:
@@ -84,25 +89,44 @@ def main() -> None:
                 engine.run(batch)
         return 10 * len(batches) * 8 / (time.perf_counter() - start)
 
-    base_rate, opt_rate = rate(baseline), rate(compiled.engine)
+    base_rate, opt_rate = rate(baseline), rate(deployment.engine)
     print(f"Unoptimized plan: {base_rate:.0f} img/s — optimized plan: "
           f"{opt_rate:.0f} img/s ({opt_rate / base_rate:.2f}x)")
     print("\nPer-step profile of the optimized engine:")
-    print(compiled.engine.profile(batches[0], repeats=5).table())
+    print(deployment.profile(batches[0], repeats=5).table())
 
     # ------------------------------------------------------------------ #
     # Bit-exactness of the full network, not just one layer.
     # ------------------------------------------------------------------ #
-    report = check_engine_parity(compiled.graph, compiled.engine, batches)
+    report = check_engine_parity(deployment.graph, deployment.engine, batches)
     print(f"\nWhole-network parity vs fake-quant simulation: {report}")
     if report.bit_exact:
         print("The integer engine reproduces the quantized inference graph bit-exactly, "
               "matching the paper's CPU-vs-FPGA validation.")
 
     # ------------------------------------------------------------------ #
+    # Persistent plan artifact: save, reload, verify zero recompilation.
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        path = deployment.save(Path(tmp) / "vgg_nano.rpa")
+        size_kb = path.stat().st_size / 1024
+        before = PIPELINE_COUNTERS.snapshot()
+        start = time.perf_counter()
+        warm = deploy.Deployment.load(path)
+        load_ms = (time.perf_counter() - start) * 1e3
+        delta = PIPELINE_COUNTERS.delta(before)
+        identical = np.array_equal(warm.run(batches[0]).codes,
+                                   deployment.run(batches[0]).codes)
+        print(f"\nArtifact {path.name}: {size_kb:.0f} KiB, fingerprint "
+              f"{deployment.fingerprint[:12]}…")
+        print(f"Reloaded in {load_ms:.0f} ms with pipeline work {delta} "
+              f"(no re-lowering/re-optimization/re-profiling); "
+              f"bit-exact with the fresh compile: {identical}")
+
+    # ------------------------------------------------------------------ #
     # Serving-style batched execution, single-engine and multicore-sharded.
     # ------------------------------------------------------------------ #
-    runner = BatchedRunner(compiled.engine)
+    runner = deployment.runner()
     requests = rng.standard_normal((100, 3, 16, 16))
     results, stats = runner.run(requests)
     print(f"\nServed {stats.requests} requests in {stats.batches} batches of "
@@ -112,9 +136,9 @@ def main() -> None:
           f"max {stats.latency_max_ms:.2f} ms")
     top1 = np.argmax(results[0].codes)
     print(f"First request predicted class {top1} "
-          f"(codes are int8 logits at scale 2^-{compiled.engine.output_meta.fraction}).")
+          f"(codes are int8 logits at scale 2^-{deployment.output_meta.fraction}).")
 
-    with BatchedRunner(compiled.engine, workers=2) as sharded:
+    with deployment.runner(workers=2) as sharded:
         sharded_results, sharded_stats = sharded.run(requests)
     identical = all(np.array_equal(a.codes, b.codes)
                     for a, b in zip(results, sharded_results))

@@ -1,17 +1,22 @@
 """Serving a fleet of integer-compiled models under realistic traffic.
 
 The paper's deployment story ends at a fixed-point inference graph; a
-production deployment starts there.  This example stands up a
-:class:`repro.serving.FleetServer` over three registry models and walks the
-serving trade-offs end to end:
+production deployment starts there.  This example stands up a fleet server
+through the unified deployment API (``repro.deploy``) and walks the serving
+trade-offs end to end:
 
-1. generate a bursty request stream with a per-request latency SLO;
-2. serve it under fixed full-batch coalescing (PR 1's ``BatchedRunner``
-   policy) and under dynamic max-batch/max-wait batching, and compare tail
-   latency;
-3. shrink the plan cache below the fleet size and watch eviction/recompile
+1. compile one deployment with a typed config and serve it as a fleet via
+   ``deployment.serve(ServeConfig(...))`` — extra models compile on demand;
+2. generate a bursty request stream with a per-request latency SLO, serve
+   it under fixed full-batch coalescing and under dynamic
+   max-batch/max-wait batching, and compare tail latency;
+3. dispatch across ``workers=2`` — batches for *different models* overlap
+   on the virtual clock (each model still serializes on its own engine);
+4. back the plan cache with a disk artifact tier: a second server warms
+   every model from content-addressed artifacts with zero recompilation;
+5. shrink the plan cache below the fleet size and watch eviction/recompile
    counters move;
-4. overload the server and watch admission control trade goodput for
+6. overload the server and watch admission control trade goodput for
    bounded latency instead of unbounded queueing.
 
 Run with:  PYTHONPATH=src python examples/serving_fleet.py
@@ -20,38 +25,42 @@ Run with:  PYTHONPATH=src python examples/serving_fleet.py
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
+from repro import deploy
 from repro.analysis import format_table
+from repro.engine import PIPELINE_COUNTERS
 from repro.serving import (
     SCENARIOS,
-    AdmissionPolicy,
-    BatchingPolicy,
-    FleetServer,
     Request,
     Scenario,
     fleet_input_shapes,
     generate_requests,
 )
 
-FLEET = ["lenet_nano", "vgg_nano", "mobilenet_v1_nano"]
+FLEET = ("lenet_nano", "vgg_nano", "mobilenet_v1_nano")
 IMAGE_SIZE = 8
 BATCH = 8
-COMPILE_KWARGS = dict(calibration_samples=8, calibration_batch_size=4)
 
-
-def make_server(policy: BatchingPolicy, **kwargs) -> FleetServer:
-    kwargs.setdefault("admission", AdmissionPolicy(max_queue_depth=64))
-    return FleetServer(FLEET, batch_size=BATCH, image_size=IMAGE_SIZE, policy=policy,
-                       compile_kwargs=COMPILE_KWARGS, **kwargs)
+COMPILE = deploy.CompileConfig(
+    image_size=IMAGE_SIZE,
+    quant=deploy.QuantConfig(calibration_samples=8, calibration_batch_size=4),
+    runtime=deploy.RuntimeConfig(batch_size=BATCH),
+)
 
 
 def main() -> None:
+    deployment = deploy.compile("lenet_nano", COMPILE)
+
     scenario = Scenario(
         "bursty_fleet", "bursty", duration_s=2.0,
         model_mix=(("lenet_nano", 0.5), ("vgg_nano", 0.3), ("mobilenet_v1_nano", 0.2)),
         slo_ms=250.0, params=dict(burst_rate_rps=400.0, on_s=0.15, off_s=0.35))
-    requests = generate_requests(scenario, fleet_input_shapes(FLEET, IMAGE_SIZE), seed=0)
+    requests = generate_requests(scenario, fleet_input_shapes(list(FLEET), IMAGE_SIZE),
+                                 seed=0)
     print(f"Workload: {len(requests)} requests over {scenario.duration_s:.0f}s "
           f"({scenario.arrival} arrivals), SLO {scenario.slo_ms:.0f}ms, "
           f"fleet mix over {len(FLEET)} models\n")
@@ -60,9 +69,10 @@ def main() -> None:
     # Dynamic batching vs. fixed full-batch coalescing.
     # ------------------------------------------------------------------ #
     rows = []
-    for label, policy in [("full_batch", BatchingPolicy.full_batch(BATCH)),
-                          ("dynamic", BatchingPolicy.dynamic(BATCH, 5e-3))]:
-        report = make_server(policy).serve(requests)
+    for label, max_wait_s in [("full_batch", None), ("dynamic", 5e-3)]:
+        server = deployment.serve(deploy.ServeConfig(
+            fleet=FLEET, max_wait_s=max_wait_s, max_queue_depth=64))
+        report = server.serve(requests)
         fleet = report.fleet
         rows.append([label, fleet["completed"], fleet["shed"],
                      f"{fleet['goodput_rps']:.0f}",
@@ -76,23 +86,45 @@ def main() -> None:
           "bounded through the bursts.\n")
 
     # ------------------------------------------------------------------ #
-    # Multicore sharded execution: workers=N splits every batch across a
-    # thread pool of per-shard engines (BLAS releases the GIL).  Codes are
-    # bit-identical; on multicore hosts compute time drops per batch.
+    # Multi-worker dispatch: workers=2 overlaps different models' batches
+    # on the virtual clock; codes are bit-identical to one worker.
     # ------------------------------------------------------------------ #
-    sharded_server = make_server(BatchingPolicy.dynamic(BATCH, 5e-3), workers=2)
-    sharded_report = sharded_server.serve(requests)
-    print(f"Same stream with workers=2 sharded engines: "
-          f"{sharded_report.fleet['completed']} completed, "
-          f"p99 {sharded_report.latency_ms('p99'):.2f}ms "
-          f"(single-worker p99 was {rows[-1][5]}ms; identical output codes, "
-          f"gains need >1 physical core)\n")
-    sharded_server.close()
+    dispatch = deployment.serve(deploy.ServeConfig(
+        fleet=FLEET, max_wait_s=5e-3, max_queue_depth=64, workers=2))
+    dispatch_report = dispatch.serve(requests)
+    print(f"Same stream with workers=2 dispatch: "
+          f"{dispatch_report.fleet['completed']} completed, "
+          f"p99 {dispatch_report.latency_ms('p99'):.2f}ms "
+          f"(single-worker p99 was {rows[-1][5]}ms; different models' batches "
+          f"overlap, identical output codes)\n")
+    dispatch.close()
+
+    # ------------------------------------------------------------------ #
+    # Disk-backed plan cache: the second server warms from artifacts.
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        cold = deployment.serve(deploy.ServeConfig(
+            fleet=FLEET, max_wait_s=5e-3, artifact_dir=Path(tmp)))
+        stats = cold.cache.stats()
+        print(f"Cold fleet with artifact_dir: compiled {stats['misses']} models, "
+              f"persisted {stats['disk_stores']} artifacts "
+              f"({len(list(Path(tmp).glob('*.rpa')))} files)")
+        before = PIPELINE_COUNTERS.snapshot()
+        warm = deploy.compile("lenet_nano", COMPILE).serve(deploy.ServeConfig(
+            fleet=FLEET, max_wait_s=5e-3, artifact_dir=Path(tmp)))
+        warm_stats = warm.cache.stats()
+        delta = PIPELINE_COUNTERS.delta(before)
+        print(f"Warm fleet: {warm_stats['disk_hits']} models loaded from disk; "
+              f"pipeline work beyond the preloaded deployment's compile: "
+              f"optimizations={delta['optimizations'] - 1}, "
+              f"autotune_runs={delta['autotune_runs'] - 1} for "
+              f"{len(FLEET) - 1} fleet models\n")
 
     # ------------------------------------------------------------------ #
     # Plan cache pressure: fleet of 3 through a cache of 2.
     # ------------------------------------------------------------------ #
-    small_cache = make_server(BatchingPolicy.dynamic(BATCH, 5e-3), cache_capacity=2)
+    small_cache = deployment.serve(deploy.ServeConfig(
+        fleet=FLEET, max_wait_s=5e-3, max_queue_depth=64, cache_capacity=2))
     report = small_cache.serve(requests)
     cache = report.cache
     print(f"Cache capacity 2 over a fleet of {len(FLEET)}: "
@@ -110,11 +142,9 @@ def main() -> None:
                         rng.standard_normal((3, IMAGE_SIZE, IMAGE_SIZE)),
                         deadline_s=0.05)
                 for i, t in enumerate(arrivals)]
-    server = FleetServer(["lenet_nano"], batch_size=BATCH, image_size=IMAGE_SIZE,
-                         policy=BatchingPolicy.dynamic(4, 2e-3),
-                         admission=AdmissionPolicy(max_queue_depth=16),
-                         compile_kwargs=COMPILE_KWARGS,
-                         compute_time_fn=lambda m, f: 0.02)
+    server = deployment.serve(
+        deploy.ServeConfig(max_batch=4, max_wait_s=2e-3, max_queue_depth=16),
+        compute_time_fn=lambda m, f: 0.02)
     report = server.serve(overload)
     fleet = report.fleet
     shed = report.metrics["per_model"]["lenet_nano"]["shed"]

@@ -14,6 +14,9 @@ Sub-packages
                     serving runner, bit-exactness parity checks.
 ``repro.serving``   Multi-model fleet server: dynamic batching, LRU plan cache,
                     SLO admission control, workload scenarios, serving metrics.
+``repro.deploy``    One compile-and-deploy API: typed compile configs, the
+                    Deployment object, persistent content-addressed plan
+                    artifacts (save/load with zero recompilation).
 ``repro.models``    Scaled-down model zoo (VGG, ResNet, Inception, MobileNet, DarkNet).
 ``repro.data``      Synthetic ImageNet substitute, preprocessing, loaders.
 ``repro.training``  Trainer, evaluator and the Table 1/3 experiment driver.
@@ -22,8 +25,9 @@ Sub-packages
 """
 
 from . import autograd, nn, optim, quant, graph, engine, models, serving, data, training, analysis
+from . import deploy
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "autograd",
@@ -34,6 +38,7 @@ __all__ = [
     "engine",
     "models",
     "serving",
+    "deploy",
     "data",
     "training",
     "analysis",

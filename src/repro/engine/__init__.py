@@ -9,6 +9,7 @@ branch-parallel execution, a batched serving runner, a per-step profiler
 and a bit-exactness parity checker against the float fake-quant simulation.
 """
 
+from .counters import PIPELINE_COUNTERS, PipelineCounters
 from .kernels import (
     EXACT_ACCUMULATOR_LIMIT,
     FLOAT32_ACCUMULATOR_LIMIT,
@@ -42,6 +43,8 @@ from .parity import (
 )
 
 __all__ = [
+    "PIPELINE_COUNTERS",
+    "PipelineCounters",
     "EXACT_ACCUMULATOR_LIMIT",
     "FLOAT32_ACCUMULATOR_LIMIT",
     "INT32_ACCUMULATOR_LIMIT",

@@ -1,0 +1,44 @@
+"""Pipeline work counters: how many times the expensive stages ran.
+
+The deployment layer's core promise is that a loaded artifact skips the
+compile pipeline entirely — no re-lowering, no optimizer passes, no
+autotune micro-profiling.  That claim is only testable if the pipeline
+stages are observable, so each one ticks a process-global counter here:
+
+* ``lowerings`` — :func:`repro.engine.plan.lower_graph` calls;
+* ``optimizations`` — :func:`repro.engine.optimizer.optimize_plan` calls;
+* ``autotune_runs`` — :func:`repro.engine.optimizer.autotune_engine` calls
+  (one per engine whose kernel variants were micro-profiled).
+
+Tests snapshot the counters, perform the operation under scrutiny, and
+assert the delta — see ``tests/test_deploy_api.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineCounters", "PIPELINE_COUNTERS"]
+
+
+@dataclass
+class PipelineCounters:
+    """Process-global tallies of compile-pipeline stage executions."""
+
+    lowerings: int = 0
+    optimizations: int = 0
+    autotune_runs: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Immutable view for delta assertions."""
+        return {"lowerings": self.lowerings, "optimizations": self.optimizations,
+                "autotune_runs": self.autotune_runs}
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Work performed since a :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - since[key] for key in now}
+
+
+#: The process-global instance every pipeline stage ticks.
+PIPELINE_COUNTERS = PipelineCounters()

@@ -40,6 +40,7 @@ __all__ = [
     "depthwise_accumulate",
     "matmul_accumulate",
     "max_pool_codes",
+    "max_pool_codes_reference",
     "pointwise_accumulate",
 ]
 
@@ -280,9 +281,46 @@ def max_pool_codes(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, in
                    out: np.ndarray) -> np.ndarray:
     """Window max over integer codes (monotone in the shared scale).
 
+    Vectorized as a *kernel-offset reduction*: for each of the ``KH*KW``
+    offsets, a strided slice of the (padded) input covers that offset's
+    contribution to every window at once, and ``np.maximum`` folds it into
+    the output.  That is ``KH*KW`` elementwise passes over dense NCHW-shaped
+    slices instead of one reduction over the last two axes of a 6-D strided
+    window view — the window view walks memory kernel-element-by-window
+    (terrible locality), the offset slices walk it almost contiguously.
+    Bit-identical to the window-view reduction (same elements, same max).
+
     Matches the fake-quant simulation exactly: padding inserts zero codes,
     which is the same constant-zero padding the float max-pool applies.
+    ``padded``, when given, must have a zero border (its interior is
+    overwritten here; the border is written once at allocation and relied
+    upon across calls).
     """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    src = x
+    if padded is not None:
+        padded[:, :, ph:ph + x.shape[2], pw:pw + x.shape[3]] = x
+        src = padded
+    oh, ow = out.shape[2], out.shape[3]
+    h_stop = sh * (oh - 1) + 1
+    w_stop = sw * (ow - 1) + 1
+    np.copyto(out, src[:, :, :h_stop:sh, :w_stop:sw])
+    for i in range(kh):
+        for j in range(kw):
+            if i == 0 and j == 0:
+                continue
+            np.maximum(out, src[:, :, i:i + h_stop:sh, j:j + w_stop:sw], out=out)
+    return out
+
+
+def max_pool_codes_reference(x: np.ndarray, kernel: tuple[int, int],
+                             stride: tuple[int, int], padding: tuple[int, int],
+                             padded: np.ndarray | None,
+                             out: np.ndarray) -> np.ndarray:
+    """The pre-vectorization window-view reduction, kept as the parity and
+    benchmark baseline for :func:`max_pool_codes`."""
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.ir import OpKind
+from .counters import PIPELINE_COUNTERS
 from .kernels import (
     FLOAT32_ACCUMULATOR_LIMIT,
     ConvGeometry,
@@ -330,6 +331,12 @@ class _FusedConvStep(_ComputeStep):
                 w4 = self.weight_codes.astype(np.float64)
                 self.packed["w4_f64"] = w4
                 self.packed["w4_f32"] = w4.astype(np.float32)
+            else:
+                # (G, Og, Cg, KH, KW) layout for the grouped window-view
+                # einsum variant (non-depthwise grouped convolutions).
+                w5 = self.weight_codes.reshape(g, o // g, cg, kh, kw).astype(np.float64)
+                self.packed["w5_f64"] = w5
+                self.packed["w5_f32"] = w5.astype(np.float32)
         return sum(w.nbytes for w in self.packed.values())
 
     def describe(self) -> str:
@@ -488,6 +495,49 @@ class _FusedConvStep(_ComputeStep):
                         windows = geometry32.windows(env[bound.input_slots[0]])
                         np.einsum("nchwij,ocij->nohw", windows, w4_32, out=image32,
                                   optimize=path)
+                        _fused_tail(image32, bound.output, constants_img32)
+                        env[bound.output_slot] = bound.output
+
+                    impls["wingemm32"] = run_wingemm32
+            else:
+                # Grouped (non-depthwise) window-view einsum: splitting the
+                # window view's channel axis into (G, Cg) is stride-free, so
+                # each group contracts against its (Og, Cg, KH, KW) filter
+                # block straight into the grouped NCHW output — no im2col
+                # copy, no group-major accumulator transpose.  This was the
+                # last conv family without a window-einsum variant.
+                w5_64 = self.packed["w5_f64"]
+                cg = geometry.in_channels // g
+                kh, kw = geometry.kernel
+                probe = geometry.windows(
+                    np.zeros((n, geometry.in_channels, geometry.height,
+                              geometry.width)))
+                probe5 = probe.reshape(n, g, cg, oh, ow, kh, kw)
+                path5 = np.einsum_path("ngchwij,gocij->ngohw", probe5, w5_64,
+                                       optimize=True)[0]
+                image = ctx.scratch(("conv_image",), geometry.output_shape)
+
+                def run_wingemm(bound, env):
+                    windows = geometry.windows(env[bound.input_slots[0]])
+                    win5 = windows.reshape(n, g, cg, oh, ow, kh, kw)
+                    np.einsum("ngchwij,gocij->ngohw", win5, w5_64,
+                              out=image.reshape(n, g, og, oh, ow), optimize=path5)
+                    _fused_tail(image, bound.output, constants_img)
+                    env[bound.output_slot] = bound.output
+
+                impls["wingemm"] = run_wingemm
+                if f32_ok:
+                    w5_32 = self.packed["w5_f32"]
+                    image32 = ctx.scratch(("conv_image",), geometry.output_shape,
+                                          np.float32)
+                    constants_img32 = _f32_constants(constants_img)
+
+                    def run_wingemm32(bound, env):
+                        windows = geometry32.windows(env[bound.input_slots[0]])
+                        win5 = windows.reshape(n, g, cg, oh, ow, kh, kw)
+                        np.einsum("ngchwij,gocij->ngohw", win5, w5_32,
+                                  out=image32.reshape(n, g, og, oh, ow),
+                                  optimize=path5)
                         _fused_tail(image32, bound.output, constants_img32)
                         env[bound.output_slot] = bound.output
 
@@ -712,7 +762,11 @@ class _FusedActivationStep:
         return self.inner.alias
 
     def __getattr__(self, attr):
-        # Manifest/summary introspection (weight_codes, accumulator_bound...)
+        # Manifest/summary introspection (weight_codes, accumulator_bound...).
+        # Raise for 'inner' itself and dunders: during unpickling this method
+        # runs before __dict__ is restored, and delegating then would recurse.
+        if attr == "inner" or attr.startswith("__"):
+            raise AttributeError(attr)
         return getattr(self.inner, attr)
 
     def describe(self) -> str:
@@ -746,6 +800,7 @@ def autotune_engine(engine: CompiledEngine, repeats: int = 7) -> dict[str, str]:
     candidate.  Returns the winning variant per step name and leaves the
     engine running the winners.
     """
+    PIPELINE_COUNTERS.autotune_runs += 1
     probe = np.zeros(engine.input_shape)
     engine.run(probe)
     env = engine._env
@@ -876,6 +931,7 @@ def optimize_plan(plan: ExecutionPlan, *, fuse_activations: bool = True,
     (weight code arrays are shared read-only).  Every pass preserves
     bit-exactness against the unoptimized plan.
     """
+    PIPELINE_COUNTERS.optimizations += 1
     report = OptimizationReport()
     steps = list(plan.steps)
     output_name = plan.output_name

@@ -34,11 +34,34 @@ from .plan import CompiledEngine, EngineOutput, ExecutionPlan
 __all__ = ["ShardedRunner", "BranchParallelEngine"]
 
 
+def _unwrap_plan(plan) -> ExecutionPlan:
+    """Accept an :class:`ExecutionPlan` or anything carrying one (a
+    :class:`~repro.deploy.Deployment`, a compiled-model bundle, an engine)."""
+    if isinstance(plan, ExecutionPlan):
+        return plan
+    inner = getattr(plan, "plan", None)
+    if isinstance(inner, ExecutionPlan):
+        return inner
+    raise TypeError(f"expected an ExecutionPlan or an object with a .plan, "
+                    f"got {type(plan).__name__}")
+
+
 class ShardedRunner:
     """Split fixed-shape batches across per-worker engines bound to shards."""
 
-    def __init__(self, plan: ExecutionPlan, input_shape: tuple[int, ...], *,
-                 workers: int = 2, accumulate: str = "blas") -> None:
+    def __init__(self, plan: ExecutionPlan, input_shape: tuple[int, ...] | None = None, *,
+                 workers: int = 2, accumulate: str | None = None) -> None:
+        if input_shape is None:
+            engine = getattr(plan, "engine", None)
+            if engine is None:
+                raise ValueError("input_shape is required unless the plan object "
+                                 "carries a bound engine (a Deployment does)")
+            input_shape = engine.input_shape
+            if accumulate is None:   # inherit unless explicitly overridden
+                accumulate = engine.accumulate
+        if accumulate is None:
+            accumulate = "blas"
+        plan = _unwrap_plan(plan)
         input_shape = tuple(int(s) for s in input_shape)
         if len(input_shape) != 4:
             raise ValueError(f"expected an NCHW input shape, got {input_shape}")
@@ -159,6 +182,7 @@ class BranchParallelEngine(CompiledEngine):
                  workers: int = 2, accumulate: str = "blas") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        plan = _unwrap_plan(plan)
         inner = plan.bind(input_shape, accumulate=accumulate, reuse_buffers=False)
         # Adopt the bound engine's state wholesale; only execution changes.
         self.__dict__.update(inner.__dict__)

@@ -41,6 +41,7 @@ from ..quant.qmodules import (
     QuantizedLinear,
 )
 from ..quant.tqt import TQTQuantizer
+from .counters import PIPELINE_COUNTERS
 from .kernels import (
     INT32_ACCUMULATOR_LIMIT,
     ConvGeometry,
@@ -852,6 +853,7 @@ def _lower_node(node: Node) -> _Step | None:
 
 def lower_graph(graph: GraphIR) -> "ExecutionPlan":
     """Lower a quantized graph into a symbolic integer execution plan."""
+    PIPELINE_COUNTERS.lowerings += 1
     graph.validate()
     if len(graph.input_names) != 1:
         raise PlanError("the engine lowers single-input graphs only")

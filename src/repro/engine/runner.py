@@ -96,6 +96,11 @@ class BatchedRunner:
 
     def __init__(self, engine: CompiledEngine | ShardedRunner, *,
                  workers: int = 1) -> None:
+        if not isinstance(engine, (CompiledEngine, ShardedRunner)):
+            # Accept a Deployment (or any bundle carrying a bound engine).
+            inner = getattr(engine, "engine", None)
+            if isinstance(inner, (CompiledEngine, ShardedRunner)):
+                engine = inner
         if workers > 1:
             if not isinstance(engine, CompiledEngine):
                 raise ValueError("workers > 1 requires a CompiledEngine to shard; "

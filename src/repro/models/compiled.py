@@ -1,26 +1,30 @@
-"""Registry entry point for compiled integer inference.
+"""Registry entry point for compiled integer inference (legacy shim).
 
-Goes from a registry name to a servable integer engine in one call:
-build the FP32 graph, run the Graffitist optimization transforms, statically
-quantize it (TQT power-of-2 thresholds, KL-J activation calibration), lower
-the quantized graph to an integer execution plan and bind it to a batch
-shape.  The returned bundle keeps the fake-quant simulation graph around so
-callers can benchmark and parity-check the two execution paths.
+The compile pipeline (build → Graffitist transforms → static TQT
+quantization → integer lowering → optimizer passes → bind) now lives behind
+the unified deployment API in :mod:`repro.deploy`; this module keeps the
+original entry point and result type working:
+
+* :class:`CompiledModel` — the compile result bundle (still the canonical
+  container; :class:`repro.deploy.Deployment` wraps one for fresh compiles).
+* :func:`compile_registry_model` — **deprecated** thin shim over
+  :func:`repro.deploy.compile`.  Same kwargs, same return type, same
+  bit-exact output codes; new code should call ``repro.deploy.compile``
+  and get a :class:`~repro.deploy.Deployment` (which adds ``save``/``load``
+  plan artifacts, ``runner(workers=N)`` and ``serve(ServeConfig)``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..data import SyntheticImageNet, sample_calibration_batches
-from ..engine.optimizer import optimize_plan
-from ..engine.plan import CompiledEngine, ExecutionPlan, lower_graph
-from ..graph import QuantizedModel, quantize_static, transforms
+from ..engine.plan import CompiledEngine, ExecutionPlan
+from ..graph import QuantizedModel
 from ..quant.config import LayerPrecision
-from .inception import avgpool_channel_hints
-from .registry import MODEL_REGISTRY, ModelSpec, available_models
+from .registry import ModelSpec
 
 __all__ = ["CompiledModel", "compile_registry_model"]
 
@@ -54,47 +58,25 @@ def compile_registry_model(name: str, *, num_classes: int = 10,
                            accumulate: str = "blas", seed: int = 0,
                            optimize: bool = True, autotune: bool = True,
                            **model_kwargs) -> CompiledModel:
-    """Build, quantize and compile a registry model for integer inference.
+    """Deprecated: use :func:`repro.deploy.compile` with a ``CompileConfig``.
 
-    ``image_size`` defaults to the registry spec's input size.  Calibration
-    uses synthetic validation images, matching the repo's static-quantization
-    flow; ``sequential_calibration=False`` trades the paper's strict
-    layer-by-layer procedure for speed (the engine is bit-exact either way —
-    parity is against the resulting fake-quant graph, not the calibration
-    recipe).
-
-    ``optimize`` runs the plan optimizer pass pipeline (epilogue fusion,
-    weight prepacking, im2col elimination, backend autotuning) before
-    binding; the optimized plan is bit-exact against the unoptimized one.
-    ``autotune=False`` keeps the optimizer's default kernel variants and
-    skips the bind-time micro-profiling.
+    Thin shim kept for existing call sites.  The flat kwargs are routed into
+    the typed config (``batch_size``/``accumulate`` → ``RuntimeConfig``,
+    calibration knobs/``precision``/``seed`` → ``QuantConfig``) and the
+    compile runs through the deployment pipeline; the returned
+    :class:`CompiledModel` is identical to what this function built before.
     """
-    try:
-        spec = MODEL_REGISTRY[name]
-    except KeyError as exc:
-        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from exc
-    image_size = image_size if image_size is not None else spec.input_size
-
-    graph = spec.build(num_classes=num_classes, seed=seed, **model_kwargs)
-    graph.eval()
-    transforms.run_default_optimizations(graph, channel_hints=avgpool_channel_hints(graph))
-
-    dataset = SyntheticImageNet(num_classes=num_classes, image_size=image_size,
-                                train_size=calibration_samples,
-                                val_size=max(calibration_samples, calibration_batch_size),
-                                seed=seed)
-    calibration = sample_calibration_batches(dataset, num_samples=calibration_samples,
-                                             batch_size=calibration_batch_size, seed=seed)
-    quantized = quantize_static(graph, calibration, precision=precision,
-                                sequential=sequential_calibration, copy=False)
-
-    plan = lower_graph(quantized.graph)
-    optimization = None
-    if optimize:
-        plan = optimize_plan(plan, autotune=autotune)
-        optimization = plan.report.to_dict()
-    engine = plan.bind((batch_size, spec.in_channels, image_size, image_size),
-                       accumulate=accumulate)
-    return CompiledModel(spec=spec, quantized=quantized, plan=plan, engine=engine,
-                         calibration_batches=calibration, image_size=image_size,
-                         num_classes=num_classes, optimization=optimization)
+    warnings.warn(
+        "compile_registry_model is deprecated; use repro.deploy.compile("
+        "name, CompileConfig(...)) — it returns a Deployment whose .compiled "
+        "attribute is this CompiledModel",
+        DeprecationWarning, stacklevel=2)
+    from ..deploy import compile as deploy_compile
+    deployment = deploy_compile(
+        name, num_classes=num_classes, image_size=image_size,
+        batch_size=batch_size, calibration_samples=calibration_samples,
+        calibration_batch_size=calibration_batch_size,
+        sequential_calibration=sequential_calibration, precision=precision,
+        accumulate=accumulate, seed=seed, optimize=optimize, autotune=autotune,
+        **model_kwargs)
+    return deployment.compiled

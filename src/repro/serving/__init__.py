@@ -4,10 +4,13 @@ The TQT paper motivates integer-only inference by what deployment hardware
 runs; this package supplies the layer *above* the engine that deployment
 actually needs: a fleet server that routes requests by model name to
 per-model queues, a dynamic batcher (max-batch / max-wait timeout policy),
-a bounded LRU plan cache with compile-on-demand and recompile accounting,
-SLO-aware admission control backed by an EWMA cost model, workload
-generators (Poisson, bursty, diurnal, heavy-tailed) and first-class serving
-metrics — all on the same virtual clock as ``repro.engine.BatchedRunner``.
+a bounded LRU plan cache with compile-on-demand (through
+``repro.deploy.compile``), recompile accounting and an optional disk-backed
+artifact tier, multi-worker dispatch (``workers=N`` overlaps different
+models' batches), SLO-aware admission control backed by an EWMA cost model,
+workload generators (Poisson, bursty, diurnal, heavy-tailed) and
+first-class serving metrics — all on the same virtual clock as
+``repro.engine.BatchedRunner``.
 """
 
 from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy, EwmaCostModel

@@ -7,36 +7,64 @@ means the next request for it pays a *recompile*; the cache counts hits,
 misses, evictions and recompiles (a recompile is a miss on a model that was
 resident before) and records per-model compile wall time so the serving
 report can surface cold-start cost.
+
+The cache optionally gains a **disk tier** (``artifact_dir``): in-memory
+misses first try to load a persistent plan artifact
+(:mod:`repro.deploy.artifact`), content-addressed by the compile config's
+hash via ``key_fn``.  A disk hit rebuilds the engine from the serialized
+plan — prepacked weights and cached autotune choices included — so the
+model comes back *without* re-lowering, re-optimization or re-profiling.
+Compiles triggered by a true miss write their artifact back, so the next
+process starts warm.  Unreadable artifacts (corrupt, stale, wrong version)
+are counted and fall through to a fresh compile — the disk tier can only
+make things faster, never wronger.
 """
 
 from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable
-
-from ..models.compiled import CompiledModel, compile_registry_model
 
 __all__ = ["PlanCache"]
 
 
 class PlanCache:
-    """Bounded LRU of :class:`~repro.models.compiled.CompiledModel` entries."""
+    """Bounded LRU of compiled-model entries with an optional disk tier.
+
+    Entries are whatever ``compile_fn`` returns — legacy
+    :class:`~repro.models.compiled.CompiledModel` bundles or
+    :class:`~repro.deploy.Deployment` objects (required for the disk tier,
+    which round-trips entries through ``entry.save(path)`` /
+    ``Deployment.load(path)``).
+    """
 
     def __init__(self, capacity: int,
-                 compile_fn: Callable[..., CompiledModel] | None = None,
+                 compile_fn: Callable | None = None,
+                 artifact_dir: str | Path | None = None,
+                 key_fn: Callable[[str], str] | None = None,
                  **compile_kwargs) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._compile = compile_fn if compile_fn is not None else compile_registry_model
+        if compile_fn is not None:
+            self._compile = compile_fn
+        else:
+            from ..models.compiled import compile_registry_model
+            self._compile = compile_registry_model
         self.compile_kwargs = compile_kwargs
-        self._entries: OrderedDict[str, CompiledModel] = OrderedDict()
+        self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self._key_fn = key_fn
+        self._entries: OrderedDict[str, object] = OrderedDict()
         self._ever_resident: set[str] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.recompiles = 0
+        self.disk_hits = 0
+        self.disk_stores = 0
+        self.disk_errors = 0
         self.compile_s: dict[str, float] = {}   # last compile wall time per model
         self.total_compile_s = 0.0
 
@@ -51,25 +79,83 @@ class PlanCache:
         """Model names currently resident, LRU-first."""
         return list(self._entries)
 
-    def peek(self, name: str) -> CompiledModel | None:
+    def artifact_path(self, name: str) -> Path | None:
+        """Disk-tier location for one model (``None`` when the tier is off)."""
+        if self.artifact_dir is None:
+            return None
+        from ..deploy.artifact import ARTIFACT_SUFFIX
+        key = self._key_fn(name) if self._key_fn is not None else "plan"
+        return self.artifact_dir / f"{name}-{key}{ARTIFACT_SUFFIX}"
+
+    def peek(self, name: str) -> object | None:
         """Resident entry or ``None`` — no LRU reorder, no counter updates."""
         return self._entries.get(name)
 
-    def get(self, name: str) -> CompiledModel:
-        """Fetch a compiled model, compiling (and possibly evicting) on miss."""
+    def put(self, name: str, entry: object) -> None:
+        """Seed a precompiled entry (e.g. a warm deployment), evicting LRU.
+
+        With a disk tier configured, the seeded entry is persisted too (if
+        its artifact is not already on disk) — a preloaded deployment should
+        warm future processes just like a compiled-on-miss one does.
+        """
+        if name in self._entries:
+            self._entries.move_to_end(name)
+        self._entries[name] = entry
+        self._ever_resident.add(name)
+        path = self.artifact_path(name)
+        if path is not None and not path.exists():
+            self._store_to_disk(name, entry)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def _load_from_disk(self, name: str) -> object | None:
+        path = self.artifact_path(name)
+        if path is None or not path.exists():
+            return None
+        from ..deploy import ArtifactError, Deployment
+        try:
+            entry = Deployment.load(path)
+        except (ArtifactError, OSError):
+            # Corrupt/stale artifact or plain I/O failure (permissions, a
+            # cleanup racing the exists() check): fall through to a fresh
+            # compile — the disk tier must never make serving *fail*.
+            self.disk_errors += 1
+            return None
+        self.disk_hits += 1
+        return entry
+
+    def _store_to_disk(self, name: str, entry: object) -> None:
+        path = self.artifact_path(name)
+        if path is None or not hasattr(entry, "save"):
+            return
+        try:
+            entry.save(path)
+            self.disk_stores += 1
+        except OSError:
+            self.disk_errors += 1
+
+    def get(self, name: str) -> object:
+        """Fetch a compiled model: memory, then disk artifact, then compile."""
         entry = self._entries.get(name)
         if entry is not None:
             self.hits += 1
             self._entries.move_to_end(name)
             return entry
         self.misses += 1
-        if name in self._ever_resident:
-            self.recompiles += 1
-        start = time.perf_counter()
-        entry = self._compile(name, **self.compile_kwargs)
-        elapsed = time.perf_counter() - start
-        self.compile_s[name] = elapsed
-        self.total_compile_s += elapsed
+        entry = self._load_from_disk(name)
+        if entry is None:
+            # Only an actual compile of a previously resident model counts
+            # as a recompile; a disk-tier load pays no compile cost.
+            if name in self._ever_resident:
+                self.recompiles += 1
+            start = time.perf_counter()
+            entry = self._compile(name, **self.compile_kwargs)
+            elapsed = time.perf_counter() - start
+            self.compile_s[name] = elapsed
+            self.total_compile_s += elapsed
+            self._store_to_disk(name, entry)
         while len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
@@ -86,6 +172,10 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "recompiles": self.recompiles,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_errors": self.disk_errors,
+            "artifact_dir": str(self.artifact_dir) if self.artifact_dir else None,
             "total_compile_s": self.total_compile_s,
             "compile_s": dict(self.compile_s),
         }

@@ -132,8 +132,13 @@ class MetricsCollector:
             "max_depth": int(max(self._depth)),
         }
 
-    def report(self, makespan_s: float) -> dict:
-        """Fleet-wide + per-model reduction over the collected events."""
+    def report(self, makespan_s: float, workers: int = 1) -> dict:
+        """Fleet-wide + per-model reduction over the collected events.
+
+        ``workers`` is the dispatch-worker count; utilization is busy time
+        over ``workers * makespan`` so it stays in [0, 1] for concurrent
+        fleets.
+        """
         arrivals = sum(s.arrivals for s in self.per_model.values())
         completed = sum(s.completed for s in self.per_model.values())
         shed = sum(s.shed_total for s in self.per_model.values())
@@ -153,7 +158,8 @@ class MetricsCollector:
                 "slo_attainment": slo_met / deadline_pop if deadline_pop else None,
                 "offered_rps": arrivals / span if span else 0.0,
                 "goodput_rps": completed / makespan_s if makespan_s else 0.0,
-                "utilization": self._busy_s / makespan_s if makespan_s else 0.0,
+                "utilization": (self._busy_s / (workers * makespan_s)
+                                if makespan_s else 0.0),
                 "latency_ms": percentiles_ms(all_latencies),
             },
             "per_model": {m: s.to_dict() for m, s in self.per_model.items()},

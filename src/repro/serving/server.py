@@ -3,17 +3,27 @@
 :class:`FleetServer` serves a stream of :class:`~repro.serving.workload.Request`
 objects against a fleet of registry models.  Per-model request queues are
 scheduled by a :class:`~repro.serving.batcher.BatchingPolicy`, engines come
-from a bounded :class:`~repro.serving.cache.PlanCache` (compile-on-demand,
-LRU eviction), and arrivals pass through
+from a bounded :class:`~repro.serving.cache.PlanCache` (compile-on-demand
+through :func:`repro.deploy.compile`, LRU eviction, optional disk-backed
+artifact tier), and arrivals pass through
 :class:`~repro.serving.admission.AdmissionController` before queueing.
 
 Time is *virtual*, following ``BatchedRunner``'s convention: a batch starts
-once its queue's launch condition and the worker's availability allow, and
+once its queue's launch condition and a worker's availability allow, and
 advances the clock by its **measured** compute time (or by a caller-supplied
 ``compute_time_fn(model, fill) -> seconds`` for deterministic simulation —
-the engine still executes for real so outputs stay bit-exact).  A single
-worker serializes batches across models, which is the regime where batching
-policy and admission control actually matter.
+the engine still executes for real so outputs stay bit-exact).
+
+Two orthogonal concurrency knobs:
+
+* ``workers=N`` — N dispatch workers on the virtual clock.  Batches for
+  *different models* launch concurrently (each model still serializes on
+  its own engine); with one worker the server degrades to the strict
+  single-worker serialization where batching policy and admission control
+  matter most.
+* ``shard_workers=M`` — data parallelism inside one batch: every batch is
+  split across M per-shard engines on a thread pool (BLAS releases the
+  GIL).  Output codes are identical either way.
 
 The discrete-event loop interleaves two event kinds in time order: request
 arrivals (admission + enqueue) and batch launches (earliest ready queue,
@@ -30,6 +40,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..deploy import compile as deploy_compile
+from ..deploy.artifact import config_key
+from ..deploy.config import CompileConfig
 from ..engine.parallel import ShardedRunner
 from ..models.registry import MODEL_REGISTRY, available_models
 from .admission import AdmissionController, AdmissionPolicy, EwmaCostModel
@@ -53,6 +66,7 @@ class ServedRequest:
     shed_reason: str | None = None
     batch_index: int | None = None
     batch_fill: int | None = None
+    worker_index: int | None = None      # dispatch worker that ran the batch
 
     @property
     def completed(self) -> bool:
@@ -69,6 +83,7 @@ class FleetReport:
     cache: dict
     cost_model_s: dict
     wall_time_s: float = 0.0
+    workers: int = 1
 
     @property
     def fleet(self) -> dict:
@@ -89,6 +104,7 @@ class FleetReport:
         """JSON-serializable view (outcomes elided — they carry arrays)."""
         return {
             "policy": self.policy,
+            "workers": self.workers,
             "metrics": self.metrics,
             "cache": self.cache,
             "cost_model_s": self.cost_model_s,
@@ -106,9 +122,12 @@ class FleetServer:
                  admission: AdmissionPolicy | None = None,
                  cache_capacity: int | None = None,
                  compile_kwargs: dict | None = None,
+                 compile_config: CompileConfig | None = None,
+                 artifact_dir=None,
                  compute_time_fn: Callable[[str, int], float] | None = None,
                  warm: bool = True,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 shard_workers: int = 1) -> None:
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must name at least one registry model")
@@ -125,19 +144,31 @@ class FleetServer:
             raise ValueError(f"policy max_batch {self.policy.max_batch} exceeds the "
                              f"engine batch size {batch_size}")
         self.batch_size = batch_size
-        kwargs = dict(compile_kwargs or {})
-        kwargs["batch_size"] = batch_size
+
+        # One typed compile config drives every cache compile (and the disk
+        # tier's content address); legacy flat compile_kwargs are routed in.
+        config = (compile_config if compile_config is not None
+                  else CompileConfig.create(**dict(compile_kwargs or {})))
+        config = config.with_overrides(batch_size=batch_size)
         if image_size is not None:
-            kwargs["image_size"] = image_size
-        self.cache = PlanCache(cache_capacity if cache_capacity is not None else len(fleet),
-                               **kwargs)
+            config = config.with_overrides(image_size=image_size)
+        self.compile_config = config
+        self.cache = PlanCache(
+            cache_capacity if cache_capacity is not None else len(fleet),
+            compile_fn=lambda name: deploy_compile(name, config),
+            artifact_dir=artifact_dir,
+            key_fn=lambda name: config_key(name, config),
+        )
         self.cost_model = EwmaCostModel()
         self.admission = AdmissionController(
             admission if admission is not None else AdmissionPolicy(), self.cost_model)
         self.compute_time_fn = compute_time_fn
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_workers < 1:
+            raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
         self.workers = int(workers)
+        self.shard_workers = int(shard_workers)
         #: per-model sharded executors; a PlanCache recompile produces a new
         #: plan object, which invalidates the old executor (identity check on
         #: the live plan the runner holds — never on a freeable id())
@@ -167,8 +198,8 @@ class FleetServer:
             self.cost_model.prime(name, time.perf_counter() - start)
 
     def _engine(self, name: str, compiled):
-        """The executor for one compiled model: plain or sharded (workers>1)."""
-        if self.workers <= 1:
+        """The executor for one compiled model: plain or sharded (shard_workers>1)."""
+        if self.shard_workers <= 1:
             return compiled.engine
         runner = self._sharded.get(name)
         if runner is not None and runner.plan is compiled.plan:
@@ -176,13 +207,13 @@ class FleetServer:
         if runner is not None:
             runner.close()
         runner = ShardedRunner(compiled.plan, compiled.engine.input_shape,
-                               workers=self.workers,
+                               workers=self.shard_workers,
                                accumulate=compiled.engine.accumulate)
         self._sharded[name] = runner
         return runner
 
     def close(self) -> None:
-        """Release the sharded executors' thread pools (no-op for workers=1)."""
+        """Release the sharded executors' thread pools (no-op for shard_workers=1)."""
         for runner in self._sharded.values():
             runner.close()
         self._sharded.clear()
@@ -197,7 +228,7 @@ class FleetServer:
                 shapes[name] = tuple(compiled.engine.input_shape[1:])
             else:
                 shapes.update(fleet_input_shapes(
-                    [name], self.cache.compile_kwargs.get("image_size")))
+                    [name], self.compile_config.image_size))
         return shapes
 
     # ------------------------------------------------------------------ #
@@ -224,11 +255,18 @@ class FleetServer:
         metrics = MetricsCollector(self.fleet)
         outcomes: dict[int, ServedRequest] = {}
 
-        worker_free = 0.0
+        # N dispatch workers on the virtual clock; a batch launches on the
+        # earliest-free worker.  Each model additionally serializes on its
+        # own engine (one resident engine per model), so concurrency is
+        # *across* models — exactly what a real fleet with one engine
+        # instance per model can overlap.
+        worker_free = [0.0] * self.workers
+        model_free = {m: 0.0 for m in self.fleet}
         last_event = 0.0
         batch_index = 0
         i, n = 0, len(reqs)
         while True:
+            free_slot = min(worker_free)
             # Earliest possible batch launch across the fleet.
             best: tuple[float, float, str] | None = None
             for model in self.fleet:
@@ -236,7 +274,8 @@ class FleetServer:
                 ready = queue.ready_time(pending[model])
                 if ready == math.inf:
                     continue
-                key = (max(ready, worker_free), queue.head_arrival_s, model)
+                key = (max(ready, free_slot, model_free[model]),
+                       queue.head_arrival_s, model)
                 if best is None or key < best:
                     best = key
 
@@ -247,7 +286,11 @@ class FleetServer:
                 pending[req.model] -= 1
                 last_event = max(last_event, req.arrival_s)
                 metrics.record_arrival(req.model, req.arrival_s)
-                decision = self.admission.consider(req, req.arrival_s, worker_free,
+                # The request cannot start before a worker is free AND its
+                # model's engine is free (one engine per model).
+                earliest_start = max(free_slot, model_free[req.model])
+                decision = self.admission.consider(req, req.arrival_s,
+                                                   earliest_start,
                                                    queues, self.policy)
                 if decision.admitted:
                     queues[req.model].push(req)
@@ -262,8 +305,9 @@ class FleetServer:
             if best is None:
                 break
 
-            # Launch the chosen model's batch.
+            # Launch the chosen model's batch on the earliest-free worker.
             launch_t, _, model = best
+            worker_index = worker_free.index(free_slot)
             batch = queues[model].pop_batch()
             fill = len(batch)
             compiled = self.cache.get(model)
@@ -276,7 +320,8 @@ class FleetServer:
                        if self.compute_time_fn is not None else measured)
             self.cost_model.observe(model, compute)
             finish = launch_t + compute
-            worker_free = finish
+            worker_free[worker_index] = finish
+            model_free[model] = finish
             last_event = max(last_event, finish)
             for offset, req in enumerate(batch):
                 latency = finish - req.arrival_s
@@ -284,14 +329,15 @@ class FleetServer:
                 outcomes[req.request_id] = ServedRequest(
                     request_id=req.request_id, model=model, status="completed",
                     latency_s=latency, codes=output.codes[offset].copy(),
-                    batch_index=batch_index, batch_fill=fill)
+                    batch_index=batch_index, batch_fill=fill,
+                    worker_index=worker_index)
             # Padding is relative to the engine's bound batch shape: even a
             # "full" policy batch below batch_size pays padded compute rows.
             metrics.record_batch(model, fill, self.batch_size, compute)
             metrics.record_queue_depth(finish, sum(q.depth for q in queues.values()))
             batch_index += 1
 
-        report = metrics.report(makespan_s=last_event)
+        report = metrics.report(makespan_s=last_event, workers=self.workers)
         return FleetReport(
             policy=self.policy.describe(),
             outcomes=[outcomes[rid] for rid in sorted(outcomes)],
@@ -299,4 +345,5 @@ class FleetServer:
             cache=self.cache.stats(),
             cost_model_s=self.cost_model.to_dict(),
             wall_time_s=time.perf_counter() - wall_start,
+            workers=self.workers,
         )

@@ -165,3 +165,34 @@ def test_requantize_codes_power_of_two_divisor_is_exact():
     # value = acc / 64 with round-half-to-even: 32/64 = 0.5 -> 0, 48/64 = 0.75 -> 1
     got = requantize_codes(acc, 0, -128, 127, divisor=64)
     np.testing.assert_array_equal(got, [0.0, 0.0, 1.0, 0.0, -1.0, 1.0])
+
+
+# ---------------------------------------------------------------------- #
+# Max-pool kernel: offset-shift rewrite vs the window-view reference
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("shape,kernel,stride,padding", [
+    ((2, 4, 8, 8), (2, 2), (2, 2), (0, 0)),      # the VGG non-overlap pool
+    ((2, 3, 9, 9), (3, 3), (2, 2), (1, 1)),      # overlapping, padded
+    ((1, 2, 7, 5), (3, 2), (2, 3), (1, 0)),      # asymmetric everything
+    ((2, 2, 6, 6), (3, 3), (1, 1), (1, 1)),      # dense stride-1
+])
+def test_max_pool_codes_matches_reference(shape, kernel, stride, padding):
+    from repro.autograd.conv import conv_output_size
+    from repro.engine.kernels import max_pool_codes, max_pool_codes_reference
+
+    rng = np.random.default_rng(13)
+    x = np.rint(rng.standard_normal(shape) * 40.0)
+    n, c, h, w = shape
+    oh = conv_output_size(h, kernel[0], stride[0], padding[0])
+    ow = conv_output_size(w, kernel[1], stride[1], padding[1])
+    out = np.empty((n, c, oh, ow))
+    ref = np.empty((n, c, oh, ow))
+    pad_shape = (n, c, h + 2 * padding[0], w + 2 * padding[1])
+    padded = np.zeros(pad_shape) if any(padding) else None
+    padded_ref = np.zeros(pad_shape) if any(padding) else None
+    # Two passes: the second reuses the padded buffer, whose border zeros
+    # must survive the first call (the kernel never rewrites the border).
+    for _ in range(2):
+        max_pool_codes(x, kernel, stride, padding, padded, out)
+        max_pool_codes_reference(x, kernel, stride, padding, padded_ref, ref)
+        np.testing.assert_array_equal(out, ref)

@@ -8,15 +8,18 @@ import re
 import numpy as np
 import pytest
 
+from repro import nn
 from repro.engine import (
     BatchedRunner,
     BranchParallelEngine,
     OptimizedPlan,
     ShardedRunner,
     check_plan_parity,
+    lower_graph,
     optimize_plan,
 )
 from repro.engine.plan import ExecutionPlan, _ActivationOnlyStep
+from repro.graph import GraphBuilder, quantize_static
 from repro.graph.ir import OpKind
 from repro.models import MODEL_REGISTRY, compile_registry_model
 
@@ -88,6 +91,63 @@ def test_every_kernel_variant_is_bit_exact(mobilenet):
         report = check_plan_parity(mobilenet.engine, engine, batches)
         assert report.bit_exact, f"variant {variant}: {report}"
     assert {"blas", "blas32", "int"} <= seen
+
+
+@pytest.fixture(scope="module")
+def grouped_conv_plan():
+    """A quantized graph with a grouped (non-depthwise) convolution.
+
+    The registry has depthwise (groups == channels) and dense (groups == 1)
+    convs but no intermediate grouped family, so the grouped ``wingemm``
+    variant gets its own graph: 8 channels in 2 groups of 4.
+    """
+    rng = np.random.default_rng(0)
+    builder = GraphBuilder("grouped_conv_test")
+    x = builder.input("input")
+    x = builder.layer("stem", OpKind.CONV, nn.Conv2d(3, 8, 3, padding=1, rng=rng), x)
+    x = builder.layer("stem_relu", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer("gconv", OpKind.CONV,
+                      nn.Conv2d(8, 8, 3, padding=1, groups=2, rng=rng), x)
+    x = builder.layer("gconv_relu", OpKind.RELU, nn.ReLU(), x)
+    x = builder.layer("gap", OpKind.GLOBAL_AVGPOOL,
+                      nn.GlobalAvgPool2d(keepdims=False), x)
+    x = builder.layer("fc", OpKind.LINEAR, nn.Linear(8, 4, rng=rng), x)
+    graph = builder.build(x)
+    graph.eval()
+    calibration = [np.random.default_rng(s).standard_normal((BATCH, 3, IMAGE_SIZE,
+                                                             IMAGE_SIZE))
+                   for s in (1, 2)]
+    quantized = quantize_static(graph, calibration, sequential=False, copy=False)
+    return lower_graph(quantized.graph)
+
+
+def test_grouped_conv_wingemm_variants_are_bit_exact(grouped_conv_plan):
+    """Per-variant forcing on the grouped-conv family, wingemm included."""
+    baseline = grouped_conv_plan.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    batches = _batches(2, seed=9)
+    grouped_variants: set[str] = set()
+    for variant in ("blas", "blas32", "wingemm", "wingemm32", "int"):
+        optimized = optimize_plan(grouped_conv_plan, autotune=False)
+        engine = optimized.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+        forced_on_grouped = False
+        for bound in engine.steps:
+            if hasattr(bound, "variants") and variant in bound.variants:
+                bound.set_variant(variant)
+                if bound.step.name == "gconv":
+                    forced_on_grouped = True
+                    grouped_variants.add(variant)
+        if variant.startswith("wingemm"):
+            assert forced_on_grouped, \
+                f"grouped conv must offer the {variant} variant"
+        report = check_plan_parity(baseline, engine, batches)
+        assert report.bit_exact, f"grouped conv, variant {variant}: {report}"
+    assert {"wingemm", "wingemm32"} <= grouped_variants
+    # The autotuner must arbitrate over the grouped variants too.
+    tuned = optimize_plan(grouped_conv_plan)
+    engine = tuned.bind((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+    assert "gconv" in tuned.kernel_choices
+    report = check_plan_parity(baseline, engine, batches)
+    assert report.bit_exact, f"autotuned grouped plan: {report}"
 
 
 def test_compile_registry_model_defaults_to_optimized(mobilenet):

@@ -199,7 +199,7 @@ def test_input_shapes_property_matches_engines():
 
 
 def test_sharded_workers_serve_identical_codes():
-    """workers>1 shards batches across threads; request codes must not change."""
+    """shard_workers>1 shards batches across threads; codes must not change."""
     rng = np.random.default_rng(5)
     requests = [Request(i, "lenet_nano", 0.0,
                         rng.standard_normal((3, IMAGE_SIZE, IMAGE_SIZE)))
@@ -207,11 +207,60 @@ def test_sharded_workers_serve_identical_codes():
     plain = _server(BatchingPolicy.dynamic(BATCH, 5e-3),
                     fleet=["lenet_nano"]).serve(requests)
     sharded_server = _server(BatchingPolicy.dynamic(BATCH, 5e-3),
-                             fleet=["lenet_nano"], workers=2)
+                             fleet=["lenet_nano"], shard_workers=2)
     sharded = sharded_server.serve(requests)
-    assert sharded_server.workers == 2
+    assert sharded_server.shard_workers == 2
     assert plain.completed == sharded.completed == len(requests)
     for a, b in zip(plain.outcomes, sharded.outcomes):
         assert a.request_id == b.request_id
         np.testing.assert_array_equal(a.codes, b.codes)
     sharded_server.close()
+
+
+def _interleaved_two_model_stream(count: int = 48, seed: int = 6) -> list[Request]:
+    rng = np.random.default_rng(seed)
+    return [Request(i, FLEET[i % 2], 0.004 * i,
+                    rng.standard_normal((3, IMAGE_SIZE, IMAGE_SIZE)))
+            for i in range(count)]
+
+
+def test_dispatch_workers_overlap_different_models():
+    """workers=N launches different models' batches concurrently: the
+    makespan shrinks under fixed per-batch costs while every output code
+    stays identical to the single-worker serialization."""
+    requests = _interleaved_two_model_stream()
+    cost = lambda model, fill: 2e-2
+    one = _server(BatchingPolicy.dynamic(BATCH, 5e-3),
+                  compute_time_fn=cost).serve(requests)
+    two_server = _server(BatchingPolicy.dynamic(BATCH, 5e-3),
+                         compute_time_fn=cost, workers=2)
+    two = two_server.serve(requests)
+    assert two_server.workers == 2
+    assert one.completed == two.completed == len(requests)
+    for a, b in zip(one.outcomes, two.outcomes):
+        assert a.request_id == b.request_id
+        np.testing.assert_array_equal(a.codes, b.codes)
+    # Two models' batches overlap on two workers: strictly less virtual time.
+    assert two.metrics["makespan_s"] < one.metrics["makespan_s"]
+    assert {o.worker_index for o in two.outcomes} == {0, 1}
+    # Utilization is normalized by the worker count, so it stays in [0, 1].
+    assert 0.0 < two.fleet["utilization"] <= 1.0
+    # Tail latency cannot get worse from adding a worker under fixed costs.
+    assert two.latency_ms("p99") <= one.latency_ms("p99") + 1e-9
+
+
+def test_dispatch_workers_serialize_same_model():
+    """One engine per model: a single model's batches never overlap, so
+    extra dispatch workers change nothing for a single-model stream."""
+    rng = np.random.default_rng(7)
+    requests = [Request(i, "lenet_nano", 0.001 * i,
+                        rng.standard_normal((3, IMAGE_SIZE, IMAGE_SIZE)))
+                for i in range(3 * BATCH)]
+    cost = lambda model, fill: 1e-2
+    one = _server(BatchingPolicy.dynamic(BATCH, 5e-3), fleet=["lenet_nano"],
+                  compute_time_fn=cost).serve(requests)
+    four = _server(BatchingPolicy.dynamic(BATCH, 5e-3), fleet=["lenet_nano"],
+                   compute_time_fn=cost, workers=4).serve(requests)
+    assert four.metrics["makespan_s"] == pytest.approx(one.metrics["makespan_s"])
+    for a, b in zip(one.outcomes, four.outcomes):
+        np.testing.assert_array_equal(a.codes, b.codes)
