@@ -25,7 +25,9 @@ graph/quant-parameter hash.
 
 from .artifact import (
     ARTIFACT_SUFFIX,
+    ARTIFACT_VERSION,
     ArtifactError,
+    ArtifactVersionError,
     artifact_path,
     config_key,
     load_artifact,
@@ -37,7 +39,9 @@ from .deployment import Deployment, compile, load
 
 __all__ = [
     "ARTIFACT_SUFFIX",
+    "ARTIFACT_VERSION",
     "ArtifactError",
+    "ArtifactVersionError",
     "artifact_path",
     "config_key",
     "load_artifact",

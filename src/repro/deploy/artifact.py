@@ -45,6 +45,7 @@ __all__ = [
     "ARTIFACT_VERSION",
     "ARTIFACT_SUFFIX",
     "ArtifactError",
+    "ArtifactVersionError",
     "plan_fingerprint",
     "config_key",
     "artifact_path",
@@ -53,7 +54,12 @@ __all__ = [
 ]
 
 ARTIFACT_FORMAT = "repro-plan-artifact"
-ARTIFACT_VERSION = 1
+#: Version 2: the tape executor changed the serialized plan payload
+#: (``OptimizedPlan.tape_kernel_choices`` rides in the pickle, and the
+#: manifest carries the tape section).  Version-1 artifacts are migrated by
+#: re-lowering from their manifest's compile config — see
+#: :meth:`repro.deploy.Deployment.load`.
+ARTIFACT_VERSION = 2
 ARTIFACT_SUFFIX = ".rpa"
 
 #: step attributes derived deterministically from other fingerprinted state
@@ -63,6 +69,19 @@ _DERIVED_STEP_KEYS = frozenset({"packed"})
 
 class ArtifactError(RuntimeError):
     """The artifact cannot be read: missing, corrupt, stale, or wrong format."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact is a readable older format version.
+
+    Carries the parsed manifest so callers can migrate (re-lower from the
+    stored compile config) instead of failing — see
+    :meth:`repro.deploy.Deployment.load`.
+    """
+
+    def __init__(self, message: str, manifest: dict) -> None:
+        super().__init__(message)
+        self.manifest = manifest
 
 
 # ---------------------------------------------------------------------- #
@@ -164,6 +183,9 @@ def save_artifact(path: str | Path, plan: ExecutionPlan, *, model: str,
                              if optimized and plan.report is not None else None),
         "kernel_choices": (dict(plan.kernel_choices)
                            if optimized and plan.kernel_choices else None),
+        "tape_kernel_choices": (
+            dict(plan.tape_kernel_choices)
+            if optimized and getattr(plan, "tape_kernel_choices", None) else None),
         "payload_sha256": hashlib.sha256(payload).hexdigest(),
         "payload_bytes": len(payload),
         "numpy": np.__version__,
@@ -217,9 +239,17 @@ def load_artifact(path: str | Path) -> tuple[ExecutionPlan, dict]:
     if manifest.get("format") != ARTIFACT_FORMAT:
         raise ArtifactError(f"{path} is not a plan artifact "
                             f"(format {manifest.get('format')!r})")
-    if manifest.get("version") != ARTIFACT_VERSION:
+    version = manifest.get("version")
+    if version != ARTIFACT_VERSION:
+        if isinstance(version, int) and 0 < version < ARTIFACT_VERSION:
+            raise ArtifactVersionError(
+                f"artifact {path} has older format version {version}; this "
+                f"build writes version {ARTIFACT_VERSION} — migrate by "
+                f"re-lowering from the manifest config "
+                f"(repro.deploy.Deployment.load does this automatically)",
+                manifest)
         raise ArtifactError(f"artifact {path} has format version "
-                            f"{manifest.get('version')!r}; this build reads "
+                            f"{version!r}; this build reads "
                             f"version {ARTIFACT_VERSION}")
     digest = hashlib.sha256(payload).hexdigest()
     if digest != manifest.get("payload_sha256"):

@@ -66,6 +66,8 @@ class RuntimeConfig:
     batch_size: int = 8
     accumulate: str = "blas"
     workers: int = 1          # default shard count for Deployment.runner()
+    mode: str = "tape"        # "tape" (flat instruction program) | "steps"
+    fuse: bool = True         # tape elementwise-chain fusion (A/B knob)
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -75,6 +77,8 @@ class RuntimeConfig:
                              f"got {self.accumulate!r}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.mode not in ("tape", "steps"):
+            raise ValueError(f"mode must be 'tape' or 'steps', got {self.mode!r}")
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -83,7 +87,7 @@ class RuntimeConfig:
 #: legacy flat kwarg name -> (nested config attribute, field name)
 _FLAT_QUANT = ("calibration_samples", "calibration_batch_size",
                "sequential_calibration", "precision", "seed")
-_FLAT_RUNTIME = ("batch_size", "accumulate", "workers")
+_FLAT_RUNTIME = ("batch_size", "accumulate", "workers", "mode", "fuse")
 
 
 @dataclass(frozen=True)
@@ -188,6 +192,8 @@ class ServeConfig:
     workers: int = 1                  # concurrent dispatch workers (across models)
     shard_workers: int = 1            # per-batch data-parallel shards
     artifact_dir: str | Path | None = None   # disk tier for the plan cache
+    disk_max_bytes: int | None = None        # disk-tier size bound (LRU GC)
+    execution: str = "virtual"        # "virtual" clock | "real" thread pool
     warm: bool = True
 
     def __post_init__(self) -> None:
@@ -197,6 +203,9 @@ class ServeConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.shard_workers < 1:
             raise ValueError(f"shard_workers must be >= 1, got {self.shard_workers}")
+        if self.execution not in ("virtual", "real"):
+            raise ValueError(f"execution must be 'virtual' or 'real', "
+                             f"got {self.execution!r}")
 
     def to_dict(self) -> dict:
         data = asdict(self)

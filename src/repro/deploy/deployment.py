@@ -23,6 +23,7 @@ whole serving surface:
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -35,7 +36,7 @@ from ..graph import GraphIR, QuantizedModel, quantize_static, transforms
 from ..models.compiled import CompiledModel
 from ..models.inception import avgpool_channel_hints
 from ..models.registry import MODEL_REGISTRY, available_models
-from .artifact import load_artifact, plan_fingerprint, save_artifact
+from .artifact import ArtifactVersionError, load_artifact, plan_fingerprint, save_artifact
 from .config import CompileConfig, ServeConfig
 
 __all__ = ["Deployment", "compile", "load"]
@@ -74,7 +75,8 @@ def _compile_registry(name: str, config: CompileConfig) -> CompiledModel:
         plan = optimize_plan(plan, autotune=config.autotune)
         optimization = plan.report.to_dict()
     engine = plan.bind((runtime.batch_size, spec.in_channels, image_size, image_size),
-                       accumulate=runtime.accumulate)
+                       accumulate=runtime.accumulate, mode=runtime.mode,
+                       fuse=runtime.fuse)
     return CompiledModel(spec=spec, quantized=quantized, plan=plan, engine=engine,
                          calibration_batches=calibration, image_size=image_size,
                          num_classes=config.num_classes, optimization=optimization)
@@ -115,7 +117,8 @@ def compile(model_or_name: str | GraphIR | QuantizedModel,  # noqa: A001 - the A
     runtime = config.runtime
     engine = plan.bind((runtime.batch_size, config.in_channels,
                         config.image_size, config.image_size),
-                       accumulate=runtime.accumulate)
+                       accumulate=runtime.accumulate, mode=runtime.mode,
+                       fuse=runtime.fuse)
     return Deployment(model=graph.graph_name, config=config, plan=plan,
                       engine=engine, compiled=None, source="compiled",
                       graph=graph)
@@ -268,6 +271,8 @@ class Deployment:
             workers=serve.workers,
             shard_workers=serve.shard_workers,
             artifact_dir=serve.artifact_dir,
+            disk_max_bytes=serve.disk_max_bytes,
+            execution=serve.execution,
         )
         server.cache.put(self.model, self)
         if serve.warm:
@@ -292,21 +297,63 @@ class Deployment:
         return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "Deployment":
+    def load(cls, path: str | Path, migrate: bool = True) -> "Deployment":
         """Rebuild a deployment from an artifact — no recompilation.
 
         The deserialized plan already carries prepacked weights and the
-        cached autotune choices, so the only work performed is the buffer
-        bind; lowering, optimizer passes and kernel micro-profiling all
-        stay at zero (observable via
-        :data:`repro.engine.PIPELINE_COUNTERS`), and the engine is
-        bit-exact with a fresh compile of the same config.
+        cached autotune choices (step-level *and* tape-level), so the only
+        work performed is the buffer bind plus the tape compile; lowering,
+        optimizer passes and kernel micro-profiling all stay at zero
+        (observable via :data:`repro.engine.PIPELINE_COUNTERS`), and the
+        engine is bit-exact with a fresh compile of the same config.
+
+        **Version migration:** a version-1 artifact (pre-tape payload) is
+        transparently migrated when ``migrate=True`` — the model is
+        recompiled from the manifest's stored compile config (this *does*
+        re-lower, once) and the artifact is rewritten in the current format,
+        so shipped fleets roll forward instead of dying on
+        :class:`~repro.deploy.ArtifactError`.
         """
-        plan, manifest = load_artifact(path)
+        try:
+            plan, manifest = load_artifact(path)
+        except ArtifactVersionError as exc:
+            if not migrate:
+                raise
+            return cls._migrate(path, exc.manifest)
         config = (CompileConfig.from_dict(manifest["config"])
                   if manifest.get("config") else CompileConfig())
+        runtime = config.runtime
         engine = plan.bind(tuple(manifest["input_shape"]),
-                           accumulate=manifest.get("accumulate", "blas"))
+                           accumulate=manifest.get("accumulate", "blas"),
+                           mode=runtime.mode, fuse=runtime.fuse)
         return cls(model=manifest["model"], config=config, plan=plan,
                    engine=engine, compiled=None, source="artifact",
                    manifest=manifest)
+
+    @classmethod
+    def _migrate(cls, path: str | Path, manifest: dict) -> "Deployment":
+        """Re-lower a readable older-version artifact and rewrite it."""
+        if not manifest.get("config"):
+            raise ArtifactVersionError(
+                f"artifact {path} is version {manifest.get('version')!r} and "
+                f"carries no compile config to re-lower from; recompile and "
+                f"re-save it", manifest)
+        model = manifest.get("model")
+        if model not in MODEL_REGISTRY:
+            # GraphIR/QuantizedModel compiles store the graph name, not a
+            # registry name — there is nothing to re-lower from.
+            raise ArtifactVersionError(
+                f"artifact {path} is version {manifest.get('version')!r} for "
+                f"{model!r}, which is not a registry model; migration can "
+                f"only re-lower registry compiles — recompile the graph and "
+                f"re-save the artifact", manifest)
+        config = CompileConfig.from_dict(manifest["config"])
+        warnings.warn(
+            f"artifact {path} is format version {manifest.get('version')}; "
+            f"re-lowering {model!r} from its stored compile config and "
+            f"rewriting the artifact in the current format",
+            UserWarning, stacklevel=3)
+        deployment = compile(model, config)
+        deployment.save(path)
+        deployment.source = "artifact-migrated"
+        return deployment

@@ -4,9 +4,13 @@ Lowers quantized graphs (TQT power-of-2 thresholds) into linear plans of
 pure integer kernels — im2col conv / matmul accumulation, bit-shift
 requantization, fused bias + ReLU/ReLU6 — with preallocated buffer reuse,
 a plan-level optimizer pass pipeline (epilogue fusion, weight prepacking,
-im2col elimination, per-layer backend autotuning), multicore sharded and
-branch-parallel execution, a batched serving runner, a per-step profiler
-and a bit-exactness parity checker against the float fake-quant simulation.
+im2col elimination, per-layer backend autotuning), a compiled **tape
+executor** (flat instruction programs with fused elementwise chains and a
+tape-level autotuner — the default ``run`` path, with the step interpreter
+kept as the ``mode="steps"`` reference), multicore sharded and
+branch-parallel execution, a batched serving runner with megabatch
+coalescing, a per-step profiler and a bit-exactness parity checker against
+the float fake-quant simulation.
 """
 
 from .counters import PIPELINE_COUNTERS, PipelineCounters
@@ -28,13 +32,15 @@ from .plan import (
     lower_graph,
 )
 from .optimizer import (
+    ElementwiseChain,
     OptimizationReport,
     OptimizedPlan,
     autotune_engine,
     optimize_plan,
 )
 from .parallel import BranchParallelEngine, ShardedRunner
-from .runner import BatchedRunner, RequestResult, RunnerStats
+from .program import TapeProgram, compile_tape
+from .runner import BatchedRunner, RequestResult, RunnerStats, pack_partial_fills
 from .parity import (
     ParityReport,
     check_engine_parity,
@@ -58,15 +64,19 @@ __all__ = [
     "StepTiming",
     "ValueMeta",
     "lower_graph",
+    "ElementwiseChain",
     "OptimizationReport",
     "OptimizedPlan",
     "autotune_engine",
     "optimize_plan",
     "BranchParallelEngine",
     "ShardedRunner",
+    "TapeProgram",
+    "compile_tape",
     "BatchedRunner",
     "RequestResult",
     "RunnerStats",
+    "pack_partial_fills",
     "ParityReport",
     "check_engine_parity",
     "check_plan_parity",

@@ -8,7 +8,12 @@ stages are observable, so each one ticks a process-global counter here:
 * ``lowerings`` — :func:`repro.engine.plan.lower_graph` calls;
 * ``optimizations`` — :func:`repro.engine.optimizer.optimize_plan` calls;
 * ``autotune_runs`` — :func:`repro.engine.optimizer.autotune_engine` calls
-  (one per engine whose kernel variants were micro-profiled).
+  (one per engine whose kernel variants were micro-profiled);
+* ``tape_compilations`` — :func:`repro.engine.program.compile_tape` calls
+  (binding an engine in tape mode compiles one instruction program);
+* ``tape_autotune_runs`` — tape-level variant micro-profiling runs.  A plan
+  whose tape kernel choices were cached (or loaded from an artifact) compiles
+  its tape without ticking this.
 
 Tests snapshot the counters, perform the operation under scrutiny, and
 assert the delta — see ``tests/test_deploy_api.py``.
@@ -28,11 +33,15 @@ class PipelineCounters:
     lowerings: int = 0
     optimizations: int = 0
     autotune_runs: int = 0
+    tape_compilations: int = 0
+    tape_autotune_runs: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Immutable view for delta assertions."""
         return {"lowerings": self.lowerings, "optimizations": self.optimizations,
-                "autotune_runs": self.autotune_runs}
+                "autotune_runs": self.autotune_runs,
+                "tape_compilations": self.tape_compilations,
+                "tape_autotune_runs": self.tape_autotune_runs}
 
     def delta(self, since: dict[str, int]) -> dict[str, int]:
         """Work performed since a :meth:`snapshot`."""

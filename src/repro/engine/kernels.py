@@ -35,12 +35,15 @@ __all__ = [
     "FLOAT32_ACCUMULATOR_LIMIT",
     "INT32_ACCUMULATOR_LIMIT",
     "ConvGeometry",
+    "StackedShiftGeometry",
     "assert_exact_accumulation",
     "conv_accumulate",
     "depthwise_accumulate",
     "matmul_accumulate",
     "max_pool_codes",
     "max_pool_codes_reference",
+    "pack_stacked_weights",
+    "pack_stacked_depthwise_weights",
     "pointwise_accumulate",
 ]
 
@@ -274,6 +277,105 @@ def matmul_accumulate(x: np.ndarray, weight_t: np.ndarray, acc: np.ndarray,
     else:
         np.matmul(x, weight_t, out=acc)
     return acc
+
+
+class StackedShiftGeometry:
+    """Shift-stacked im2col: the ``KH*KW`` kernel-offset slices of the padded
+    input stacked along the channel axis.
+
+    The classic im2col column layout interleaves ``(channel, kh, kw)`` along
+    the K axis, which makes the staging copy a transposed scatter — the
+    dominant cost of an im2col GEMM at small feature-map sizes.  Stacking the
+    offsets *channel-block-wise* instead (K ordered ``(kh, kw, channel)``)
+    turns the staging into ``KH*KW`` same-layout strided slice copies, each
+    nearly as cheap as the padded-input fill, and the GEMM
+    ``W (O, KH*KW*C) @ stack (N, KH*KW*C, OH*OW)`` writes the NCHW output
+    directly — no accumulator transpose.  Ungrouped convolutions only; the
+    arithmetic is the exact integer arithmetic of the other backends (same
+    accumulator bounds apply).
+
+    The stack buffer's zero border (output positions whose windows overhang
+    the input) is written once at allocation and relied upon across calls,
+    so the buffer must never be recycled storage — allocate it fresh.
+    """
+
+    def __init__(self, batch: int, in_channels: int, height: int, width: int,
+                 kernel: tuple[int, int], stride: tuple[int, int],
+                 padding: tuple[int, int], dtype=np.float64) -> None:
+        self.batch = batch
+        self.in_channels = in_channels
+        self.height = height
+        self.width = width
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.dtype = np.dtype(dtype)
+        kh, kw = kernel
+        self.out_height = conv_output_size(height, kh, stride[0], padding[0])
+        self.out_width = conv_output_size(width, kw, stride[1], padding[1])
+        self.stack = np.zeros((batch, kh * kw * in_channels,
+                               self.out_height, self.out_width), dtype=self.dtype)
+        # Per-offset copy plan: destination channel block plus the matching
+        # (input-range, output-range) slices with padding overhang clipped,
+        # so no separate padded staging copy is needed.
+        self._copies: list[tuple] = []
+        ph, pw = padding
+        sh, sw = stride
+        for i in range(kh):
+            for j in range(kw):
+                k = i * kw + j
+                dst = self.stack[:, k * in_channels:(k + 1) * in_channels]
+                # Output position o reads input row i + o*sh - ph; clip the
+                # o-range so the input index stays inside [0, height).
+                o_lo_h = max(0, -(-(ph - i) // sh))          # ceil((ph-i)/sh)
+                o_hi_h = min(self.out_height, (height - 1 - i + ph) // sh + 1)
+                o_lo_w = max(0, -(-(pw - j) // sw))
+                o_hi_w = min(self.out_width, (width - 1 - j + pw) // sw + 1)
+                if o_lo_h >= o_hi_h or o_lo_w >= o_hi_w:
+                    continue
+                in_h = slice(i + o_lo_h * sh - ph, i + (o_hi_h - 1) * sh - ph + 1, sh)
+                in_w = slice(j + o_lo_w * sw - pw, j + (o_hi_w - 1) * sw - pw + 1, sw)
+                self._copies.append((dst[:, :, o_lo_h:o_hi_h, o_lo_w:o_hi_w],
+                                     in_h, in_w))
+
+    @property
+    def gemm_view(self) -> np.ndarray:
+        """The stack reshaped ``(N, KH*KW*C, OH*OW)`` for the batched GEMM."""
+        kh, kw = self.kernel
+        return self.stack.reshape(self.batch, kh * kw * self.in_channels,
+                                  self.out_height * self.out_width)
+
+    def fill(self, x: np.ndarray) -> np.ndarray:
+        """Copy the kernel-offset slices of ``x`` (N, C, H, W) into the stack."""
+        for dst, in_h, in_w in self._copies:
+            dst[...] = x[:, :, in_h, in_w]
+        return self.stack
+
+
+def pack_stacked_weights(weight_codes: np.ndarray, dtype=np.float64) -> np.ndarray:
+    """Weights ``(O, C, KH, KW)`` packed ``(O, KH*KW*C)`` for the stacked GEMM."""
+    o = weight_codes.shape[0]
+    return np.ascontiguousarray(
+        weight_codes.transpose(0, 2, 3, 1).reshape(o, -1).astype(dtype))
+
+
+def pack_stacked_depthwise_weights(weight_codes: np.ndarray,
+                                   dtype=np.float64) -> np.ndarray:
+    """Depthwise weights ``(C, 1, KH, KW)`` as a dense ``(C, KH*KW*C)`` matrix.
+
+    Channel ``c``'s taps land at stacked-K positions ``k*C + c``; all other
+    entries are zero, so the dense GEMM accumulates exactly the depthwise sum
+    (the zero entries contribute nothing and cannot affect the accumulator
+    bound).  Wasteful in FLOPs but BLAS-fast at nano channel counts — the
+    autotuner arbitrates against the window-view einsum per layer.
+    """
+    c = weight_codes.shape[0]
+    kh, kw = weight_codes.shape[2], weight_codes.shape[3]
+    taps = weight_codes.reshape(c, kh * kw).astype(dtype)
+    packed = np.zeros((c, kh * kw * c), dtype=dtype)
+    for k in range(kh * kw):
+        packed[np.arange(c), k * c + np.arange(c)] = taps[:, k]
+    return packed
 
 
 def max_pool_codes(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],

@@ -66,10 +66,12 @@ from .plan import (
 )
 
 __all__ = [
+    "ElementwiseChain",
     "OptimizationReport",
     "OptimizedPlan",
     "optimize_plan",
     "autotune_engine",
+    "tail_chain",
 ]
 
 
@@ -101,6 +103,283 @@ class OptimizationReport:
 
 
 # ---------------------------------------------------------------------- #
+# Elementwise-chain fusion (the tape executor's epilogue compiler)
+# ---------------------------------------------------------------------- #
+_INF = float("inf")
+
+
+def _array_is_integral(arr: np.ndarray) -> bool:
+    return bool(np.all(arr == np.rint(arr)))
+
+
+def _maximum_into(a, b, out) -> None:
+    np.maximum(a, b, out=out)
+
+
+def _minimum_into(a, b, out) -> None:
+    np.minimum(a, b, out=out)
+
+
+def _clip_into(a, lo, hi, out) -> None:
+    np.clip(a, lo, hi, out=out)
+
+
+class ElementwiseChain:
+    """Compile a requantize/activation/copy chain into a minimal op list.
+
+    The step interpreter executes its post-accumulation pipeline as a fixed
+    sequence of small NumPy calls (scale, round, clip, activation, copy) —
+    each a full pass over the tensor, each with fixed per-call overhead that
+    dominates at nano feature-map sizes.  This builder records the chain
+    *declaratively* and compiles it into prebound ``(ufunc, args)`` calls,
+    eliminating every operation that is provably the identity on the integer
+    grid:
+
+    * ``scale(1.0)`` disappears;
+    * ``round`` disappears when the running value is provably integral
+      (integer codes scaled by integer factors stay on the grid);
+    * ``clip`` disappears when the tracked magnitude bound proves the value
+      already inside the clip range;
+    * adjacent clips merge into one with intersected bounds;
+    * a clip (ReLU is ``clip(0, inf)``, ReLU6 ``clip(0, b)``) slides forward
+      past positive scales and rounds — exact whenever its finite bounds land
+      on the integer grid after scaling, since monotone rounding commutes
+      with clamping at integral thresholds — and merges into the final clamp.
+
+    Every elimination is exactness-preserving, so the compiled chain is
+    bit-identical to the naive sequence; ``fuse=False`` compiles the naive
+    sequence for A/B benchmarking.  The compiled ops run in place on ``src``
+    when ``src_mutable`` (scratch accumulators), otherwise the first op moves
+    the value into ``dst``; an empty chain degenerates to one ``copyto`` (or
+    nothing, when ``src is dst``).
+    """
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, *, bound: float = _INF,
+                 integral: bool = True, src_mutable: bool = False,
+                 fuse: bool = True) -> None:
+        self.src = src
+        self.dst = dst
+        self.in_bound = float(bound)
+        self.in_integral = integral
+        self.src_mutable = src_mutable
+        self.fuse = fuse
+        self._ops: list[tuple] = []
+
+    # -- recording ----------------------------------------------------- #
+    def scale(self, factor: float) -> "ElementwiseChain":
+        self._ops.append(("scale", float(factor)))
+        return self
+
+    def round(self) -> "ElementwiseChain":
+        self._ops.append(("round",))
+        return self
+
+    def clip(self, lo: float, hi: float) -> "ElementwiseChain":
+        self._ops.append(("clip", float(lo), float(hi)))
+        return self
+
+    def relu(self) -> "ElementwiseChain":
+        return self.clip(0.0, _INF)
+
+    def relu6(self, bound: float) -> "ElementwiseChain":
+        return self.clip(0.0, float(bound))
+
+    def add(self, addend: np.ndarray, bound_after: float | None = None
+            ) -> "ElementwiseChain":
+        self._ops.append(("add", addend, float(np.max(np.abs(addend), initial=0.0)),
+                          _array_is_integral(addend), bound_after))
+        return self
+
+    # -- fusion -------------------------------------------------------- #
+    def _eliminate(self) -> tuple[list[tuple], dict[str, int]]:
+        """Value-tracked elimination + clip merging over the recorded ops."""
+        eliminated = {"scale": 0, "round": 0, "clip": 0}
+        out: list[tuple] = []
+        bound, integral = self.in_bound, self.in_integral
+        for op in self._ops:
+            kind = op[0]
+            if kind == "scale":
+                factor = op[1]
+                new_bound = bound * abs(factor)
+                new_integral = integral and float(factor).is_integer()
+                if factor == 1.0:
+                    eliminated["scale"] += 1
+                else:
+                    out.append(op)
+                bound, integral = new_bound, new_integral
+            elif kind == "round":
+                if integral:
+                    eliminated["round"] += 1
+                else:
+                    out.append(op)
+                    bound = bound + 0.5
+                    integral = True
+            elif kind == "clip":
+                lo, hi = op[1], op[2]
+                if bound <= hi and -bound >= lo:
+                    eliminated["clip"] += 1
+                    continue
+                if (out and out[-1][0] == "clip"
+                        and max(out[-1][1], lo) <= min(out[-1][2], hi)):
+                    lo, hi = max(out[-1][1], lo), min(out[-1][2], hi)
+                    out[-1] = ("clip", lo, hi)
+                    eliminated["clip"] += 1
+                else:
+                    out.append(op)
+                # Post-clip range is [max(-bound, lo), min(bound, hi)].
+                bound = max(abs(max(-bound, lo)), abs(min(bound, hi)))
+            else:  # add
+                _, addend, addend_bound, addend_integral, bound_after = op
+                out.append(op)
+                bound = bound_after if bound_after is not None else bound + addend_bound
+                integral = integral and addend_integral
+        return out, eliminated
+
+    @staticmethod
+    def _slide_clips(ops: list[tuple]) -> tuple[list[tuple], int]:
+        """Slide clips forward past positive scales/rounds into a later clip.
+
+        Exact iff each finite clip bound stays on the integer grid after the
+        intervening scales (monotone round then commutes with the clamp).
+        """
+        slid = 0
+        changed = True
+        while changed:
+            changed = False
+            for i, op in enumerate(ops):
+                if op[0] != "clip":
+                    continue
+                lo, hi = op[1], op[2]
+
+                def _on_grid(value: float, factor: float) -> bool:
+                    return value in (-_INF, _INF) or float(value * factor).is_integer()
+
+                factor = 1.0
+                j = i + 1
+                ok = True
+                while j < len(ops) and ops[j][0] != "clip":
+                    if ops[j][0] == "scale" and ops[j][1] > 0:
+                        factor *= ops[j][1]
+                    elif ops[j][0] == "round":
+                        # Clamping commutes with monotone rounding only at
+                        # integral thresholds — check at this point, not
+                        # just at the destination clip.
+                        if not (_on_grid(lo, factor) and _on_grid(hi, factor)):
+                            ok = False
+                            break
+                    else:
+                        ok = False
+                        break
+                    j += 1
+                if not ok or j >= len(ops) or ops[j][0] != "clip":
+                    continue
+                lo_s = lo * factor if lo != -_INF else -_INF
+                hi_s = hi * factor if hi != _INF else _INF
+                if not (_on_grid(lo, factor) and _on_grid(hi, factor)):
+                    continue
+                nlo, nhi = ops[j][1], ops[j][2]
+                if max(nlo, lo_s) > min(nhi, hi_s):
+                    # Disjoint clamp ranges do not compose into one clip.
+                    continue
+                ops[j] = ("clip", max(nlo, lo_s), min(nhi, hi_s))
+                del ops[i]
+                slid += 1
+                changed = True
+                break
+        return ops, slid
+
+    # -- codegen ------------------------------------------------------- #
+    def compile(self) -> tuple[list[tuple], dict[str, int]]:
+        """Lower to prebound ``(callable, args)`` pairs plus fusion stats."""
+        stats = {"ops_recorded": len(self._ops), "scale": 0, "round": 0,
+                 "clip": 0, "slid_clips": 0, "copies": 0}
+        if self.fuse:
+            ops, eliminated = self._eliminate()
+            ops, slid = self._slide_clips(ops)
+            stats.update(eliminated)
+            stats["slid_clips"] = slid
+        else:
+            ops = [op for op in self._ops]
+        calls: list[tuple] = []
+        src, dst = self.src, self.dst
+        if not ops:
+            if src is not dst:
+                calls.append((np.copyto, (dst, src)))
+                stats["copies"] = 1
+            stats["ops_emitted"] = len(calls)
+            return calls, stats
+        cur = src
+        for index, op in enumerate(ops):
+            last = index == len(ops) - 1
+            if last:
+                target = dst
+            elif cur is not src or self.src_mutable:
+                target = cur
+            else:
+                target = dst
+            kind = op[0]
+            if kind == "scale":
+                calls.append((np.multiply, (cur, op[1], target)))
+            elif kind == "round":
+                calls.append((np.rint, (cur, target)))
+            elif kind == "clip":
+                lo, hi = op[1], op[2]
+                if lo == -_INF:
+                    calls.append((_minimum_into, (cur, hi, target)))
+                elif hi == _INF:
+                    calls.append((_maximum_into, (cur, lo, target)))
+                else:
+                    calls.append((_clip_into, (cur, lo, hi, target)))
+            else:  # add
+                calls.append((np.add, (cur, op[1], target)))
+            cur = target
+        stats["ops_emitted"] = len(calls)
+        return calls, stats
+
+
+def tail_chain(constants: dict, src: np.ndarray, dst: np.ndarray, *,
+               src_mutable: bool = True, fuse: bool = True,
+               extra_activation: str | None = None,
+               extra_relu6_bound: float | None = None) -> tuple[list[tuple], dict]:
+    """Compile a compute step's post-accumulation tail as a fused chain.
+
+    Mirrors :func:`_run_compute_tail` / :func:`_fused_tail` semantics — bias
+    add, 16-bit accumulator stage, activation, output requantize — from the
+    step's resolved tail ``constants``, with the chain compiler's elimination
+    rules subsuming the ``_augment_tail`` shortcuts.  ``extra_activation``
+    appends a folded standalone ReLU/ReLU6 on the output codes.
+    """
+    chain = ElementwiseChain(src, dst, bound=float(constants.get("acc_bound", _INF)),
+                             integral=True, src_mutable=src_mutable, fuse=fuse)
+    divisor = constants["divisor"]
+    if constants["bias_addend"] is not None:
+        if constants["acc_shift_up"] != 1.0:
+            chain.scale(constants["acc_shift_up"])
+        chain.add(constants["bias_addend"],
+                  bound_after=float(constants.get("acc_bound", _INF)))
+    if constants["internal_shift"] is not None:
+        stage = constants["internal"]
+        chain.scale((2.0 ** float(-constants["internal_shift"])) / float(divisor))
+        chain.round()
+        chain.clip(stage.qmin, stage.qmax)
+        divisor = 1
+    if constants["activation"] == "relu":
+        chain.relu()
+    elif constants["activation"] == "relu6":
+        chain.relu6(constants["relu6_bound"])
+    if constants["output_shift"] is not None:
+        stage = constants["output_stage"]
+        chain.scale((2.0 ** float(-constants["output_shift"])) / float(divisor))
+        chain.round()
+        chain.clip(stage.qmin, stage.qmax)
+    if extra_activation == "relu":
+        chain.relu()
+    elif extra_activation == "relu6":
+        chain.relu6(extra_relu6_bound)
+    return chain.compile()
+
+
+# ---------------------------------------------------------------------- #
 # Tunable bound steps
 # ---------------------------------------------------------------------- #
 class _TunableBound(_BoundStep):
@@ -113,6 +392,8 @@ class _TunableBound(_BoundStep):
 
     _impls: dict = {}
     _default: str = ""
+    #: bind-time kernel metadata for the tape compiler (set per bind)
+    _tape: dict | None = None
 
     def __init__(self, step, input_slots, output_slot, output) -> None:
         super().__init__(step, input_slots, output_slot, output)
@@ -385,6 +666,10 @@ class _FusedConvStep(_ComputeStep):
 
         impls = {"int": run_int}
         default = "int"
+        tape_info = dict(kind="dw", step=self, geometry=geometry, geometry32=None,
+                         weight64=weight64, weight32=weight32, path=path,
+                         image=image, image32=None, constants_img=constants,
+                         constants_img32=None, f32_ok=f32_ok, groups=self.groups)
         if ctx.accumulate == "blas":
             def run_blas(bound, env):
                 depthwise_accumulate(geometry, env[bound.input_slots[0]], weight64,
@@ -400,6 +685,8 @@ class _FusedConvStep(_ComputeStep):
                     self.padding, self.groups, dtype=np.float32, scratch=ctx.scratch)
                 image32 = ctx.scratch(("dw_image",), geometry.output_shape, np.float32)
                 constants32 = _f32_constants(constants)
+                tape_info.update(geometry32=geometry32, image32=image32,
+                                 constants_img32=constants32)
 
                 def run_blas32(bound, env):
                     depthwise_accumulate(geometry32, env[bound.input_slots[0]], weight32,
@@ -412,6 +699,7 @@ class _FusedConvStep(_ComputeStep):
         class Bound(_TunableBound):
             _impls = impls
             _default = default
+            _tape = tape_info
 
         return Bound
 
@@ -439,6 +727,11 @@ class _FusedConvStep(_ComputeStep):
 
         impls = {"int": run_int}
         default = "int"
+        tape_info = dict(kind="conv", step=self, geometry=geometry, geometry32=None,
+                         constants_img=constants_img, constants_img32=None,
+                         f32_ok=f32_ok, groups=g, grouped=g > 1,
+                         image=None, image32=None, weight64=None, weight32=None,
+                         path4=None, path5=None)
         if ctx.accumulate == "blas":
             def run_blas(bound, env):
                 cols = geometry.fill_columns(env[bound.input_slots[0]])
@@ -456,6 +749,8 @@ class _FusedConvStep(_ComputeStep):
                     self.groups, dtype=np.float32, scratch=ctx.scratch)
                 acc32 = ctx.scratch(("conv_acc",), (g, m, og), np.float32)
                 constants32 = _f32_constants(constants)
+                tape_info.update(geometry32=geometry32,
+                                 constants_img32=_f32_constants(constants_img))
 
                 def run_blas32(bound, env):
                     cols = geometry32.fill_columns(env[bound.input_slots[0]])
@@ -476,6 +771,7 @@ class _FusedConvStep(_ComputeStep):
                 path = np.einsum_path("nchwij,ocij->nohw", probe, w4_64,
                                       optimize=True)[0]
                 image = ctx.scratch(("conv_image",), geometry.output_shape)
+                tape_info.update(image=image, weight64=w4_64, path4=path)
 
                 def run_wingemm(bound, env):
                     windows = geometry.windows(env[bound.input_slots[0]])
@@ -490,6 +786,8 @@ class _FusedConvStep(_ComputeStep):
                     image32 = ctx.scratch(("conv_image",), geometry.output_shape,
                                           np.float32)
                     constants_img32 = _f32_constants(constants_img)
+                    tape_info.update(image32=image32, weight32=w4_32,
+                                     constants_img32=constants_img32)
 
                     def run_wingemm32(bound, env):
                         windows = geometry32.windows(env[bound.input_slots[0]])
@@ -516,6 +814,7 @@ class _FusedConvStep(_ComputeStep):
                 path5 = np.einsum_path("ngchwij,gocij->ngohw", probe5, w5_64,
                                        optimize=True)[0]
                 image = ctx.scratch(("conv_image",), geometry.output_shape)
+                tape_info.update(image=image, weight64=w5_64, path5=path5)
 
                 def run_wingemm(bound, env):
                     windows = geometry.windows(env[bound.input_slots[0]])
@@ -531,6 +830,8 @@ class _FusedConvStep(_ComputeStep):
                     image32 = ctx.scratch(("conv_image",), geometry.output_shape,
                                           np.float32)
                     constants_img32 = _f32_constants(constants_img)
+                    tape_info.update(image32=image32, weight32=w5_32,
+                                     constants_img32=constants_img32)
 
                     def run_wingemm32(bound, env):
                         windows = geometry32.windows(env[bound.input_slots[0]])
@@ -546,6 +847,7 @@ class _FusedConvStep(_ComputeStep):
         class Bound(_TunableBound):
             _impls = impls
             _default = default
+            _tape = tape_info
 
         return Bound
 
@@ -617,6 +919,11 @@ class _PointwiseConvStep(_ComputeStep):
 
         impls = {"int": run_int}
         default = "int"
+        tape_info = dict(kind="pw", step=self, acc=acc, acc32=None,
+                         out_gemm=out_gemm, staging64=staging64, staging32=None,
+                         weight64=weight64, weight32=weight32,
+                         constants=constants, constants32=None,
+                         subsample=subsample, f32_ok=f32_ok)
         if ctx.accumulate == "blas":
             def run_blas(bound, env):
                 # The GEMM writes the output layout directly; the epilogue
@@ -633,6 +940,8 @@ class _PointwiseConvStep(_ComputeStep):
                 acc32 = ctx.scratch(("pw_acc",), (n, self.out_channels, oh * ow),
                                     np.float32)
                 constants32 = _f32_constants(constants)
+                tape_info.update(acc32=acc32, staging32=staging32,
+                                 constants32=constants32)
 
                 def run_blas32(bound, env):
                     pointwise_accumulate(env[bound.input_slots[0]], weight32, acc32,
@@ -646,6 +955,7 @@ class _PointwiseConvStep(_ComputeStep):
         class Bound(_TunableBound):
             _impls = impls
             _default = default
+            _tape = tape_info
 
         return Bound, out_shape, constants["out_meta"], out
 
@@ -701,6 +1011,9 @@ class _FusedLinearStep(_ComputeStep):
 
         impls = {"int": run_int}
         default = "int"
+        tape_info = dict(kind="fc", step=self, acc=acc, acc32=None,
+                         staging32=None, weight64=weight64, weight32=weight32,
+                         constants=constants, constants32=None, f32_ok=f32_ok)
         if ctx.accumulate == "blas":
             def run_blas(bound, env):
                 np.matmul(env[bound.input_slots[0]], weight64, out=acc)
@@ -714,6 +1027,8 @@ class _FusedLinearStep(_ComputeStep):
                                         np.float32)
                 acc32 = ctx.scratch(("fc_acc",), (n, self.out_features), np.float32)
                 constants32 = _f32_constants(constants)
+                tape_info.update(acc32=acc32, staging32=staging32,
+                                 constants32=constants32)
 
                 def run_blas32(bound, env):
                     np.copyto(staging32, env[bound.input_slots[0]])
@@ -726,6 +1041,7 @@ class _FusedLinearStep(_ComputeStep):
         class Bound(_TunableBound):
             _impls = impls
             _default = default
+            _tape = tape_info
 
         return Bound, (n, self.out_features), constants["out_meta"], out
 
@@ -852,11 +1168,16 @@ class OptimizedPlan(ExecutionPlan):
     report: OptimizationReport | None = None
     autotune: bool = True
     kernel_choices: dict[str, str] | None = None
+    #: tape-level kernel choices (the instruction program's macro-kernel
+    #: variants, a superset of the step-level ones — e.g. ``stackgemm``);
+    #: cached on first tape compile and persisted in plan artifacts.
+    tape_kernel_choices: dict[str, str] | None = None
 
     def bind(self, input_shape, accumulate: str = "blas",
-             reuse_buffers: bool = True) -> CompiledEngine:
+             reuse_buffers: bool = True, mode: str = "tape",
+             fuse: bool = True) -> CompiledEngine:
         engine = super().bind(input_shape, accumulate=accumulate,
-                              reuse_buffers=reuse_buffers)
+                              reuse_buffers=reuse_buffers, mode=mode, fuse=fuse)
         if accumulate == "blas":
             if self.kernel_choices is not None:
                 apply_kernel_choices(engine, self.kernel_choices)
@@ -870,6 +1191,8 @@ class OptimizedPlan(ExecutionPlan):
             data["optimizer"] = self.report.to_dict()
         if self.kernel_choices is not None:
             data["kernel_choices"] = dict(self.kernel_choices)
+        if getattr(self, "tape_kernel_choices", None) is not None:
+            data["tape_kernel_choices"] = dict(self.tape_kernel_choices)
         return data
 
 

@@ -25,6 +25,8 @@ them through a ``workers=N`` knob without code changes.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -47,10 +49,21 @@ def _unwrap_plan(plan) -> ExecutionPlan:
 
 
 class ShardedRunner:
-    """Split fixed-shape batches across per-worker engines bound to shards."""
+    """Split fixed-shape batches across per-worker engines bound to shards.
+
+    ``auto_degrade=True`` checks whether sharding can possibly help before
+    committing to it: on a single-core host (``os.cpu_count() == 1``) the
+    shards only add dispatch overhead, and a quick calibration run (one
+    batch single-engine vs. sharded) catches hosts where measured scaling
+    still lands below 1.0x.  Either signal degrades the runner to the plain
+    single-engine path; the decision and its reason are recorded on
+    :attr:`workers` / :attr:`worker_decision` and surfaced through
+    :class:`~repro.engine.runner.RunnerStats`.
+    """
 
     def __init__(self, plan: ExecutionPlan, input_shape: tuple[int, ...] | None = None, *,
-                 workers: int = 2, accumulate: str | None = None) -> None:
+                 workers: int = 2, accumulate: str | None = None,
+                 auto_degrade: bool = False, calibrate: bool = True) -> None:
         if input_shape is None:
             engine = getattr(plan, "engine", None)
             if engine is None:
@@ -68,7 +81,13 @@ class ShardedRunner:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         batch = input_shape[0]
+        self.workers_requested = int(workers)
+        self.worker_decision = "as-requested"
         workers = min(int(workers), batch)
+        if workers > 1 and auto_degrade and (os.cpu_count() or 1) <= 1:
+            # Shards cannot overlap without cores; don't pay 0.4x dispatch.
+            workers = 1
+            self.worker_decision = "degraded: single-core host"
         base, remainder = divmod(batch, workers)
         self.shard_sizes = [base + (1 if i < remainder else 0) for i in range(workers)]
         self.plan = plan
@@ -85,6 +104,45 @@ class ShardedRunner:
         self._pool = (ThreadPoolExecutor(max_workers=workers,
                                          thread_name_prefix="engine-shard")
                       if workers > 1 else None)
+        if self.workers > 1 and auto_degrade and calibrate:
+            scaling, single = self.calibrate()
+            if scaling < 1.0:
+                self.worker_decision = (f"degraded: calibration scaling "
+                                        f"{scaling:.2f}x < 1.0x")
+                self._degrade_to_single(single)
+
+    def _degrade_to_single(self, engine: CompiledEngine | None = None) -> None:
+        """Collapse to one full-batch engine; keep the runner interface."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.workers = 1
+        self.shard_sizes = [self.batch_size]
+        self._offsets = np.array([0, self.batch_size])
+        if engine is None:
+            engine = self.plan.bind(self.input_shape, accumulate=self.accumulate)
+        self.engines = [engine]
+
+    def calibrate(self, repeats: int = 3) -> tuple[float, CompiledEngine]:
+        """Measured sharded-over-single scaling on one probe batch (best-of).
+
+        Returns the scaling plus the full-batch probe engine, so a degrade
+        decision can adopt it instead of binding a second identical one.
+        """
+        probe = np.zeros(self.input_shape, dtype=self.input_dtype)
+        single = self.plan.bind(self.input_shape, accumulate=self.accumulate)
+        single.run(probe)   # warm
+        self.run(probe)
+        best_single = best_sharded = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            single.run(probe)
+            best_single = min(best_single, time.perf_counter() - start)
+            start = time.perf_counter()
+            self.run(probe)
+            best_sharded = min(best_sharded, time.perf_counter() - start)
+        scaling = best_single / best_sharded if best_sharded > 0 else 1.0
+        return scaling, single
 
     # ------------------------------------------------------------------ #
     def run(self, x: np.ndarray) -> EngineOutput:
@@ -183,7 +241,10 @@ class BranchParallelEngine(CompiledEngine):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         plan = _unwrap_plan(plan)
-        inner = plan.bind(input_shape, accumulate=accumulate, reuse_buffers=False)
+        # Level-scheduled execution dispatches bound steps concurrently, so
+        # this engine runs the steps interpreter, not the (sequential) tape.
+        inner = plan.bind(input_shape, accumulate=accumulate, reuse_buffers=False,
+                          mode="steps")
         # Adopt the bound engine's state wholesale; only execution changes.
         self.__dict__.update(inner.__dict__)
         self.workers = int(workers)

@@ -381,7 +381,8 @@ class _ComputeStep(_Step):
                     internal_shift=internal_shift, internal=self.internal,
                     divisor=divisor, activation=self.activation,
                     relu6_bound=relu6_bound, output_shift=output_shift,
-                    output_stage=self.output_stage, out_meta=out_meta)
+                    output_stage=self.output_stage, out_meta=out_meta,
+                    acc_bound=acc_bound)
 
 
 def _run_compute_tail(acc: np.ndarray, out: np.ndarray, c: dict) -> None:
@@ -936,7 +937,8 @@ class ExecutionPlan:
     steps: list = field(default_factory=list)
 
     def bind(self, input_shape: tuple[int, ...], accumulate: str = "blas",
-             reuse_buffers: bool = True) -> "CompiledEngine":
+             reuse_buffers: bool = True, mode: str = "tape",
+             fuse: bool = True) -> "CompiledEngine":
         """Bind the plan to a concrete input shape.
 
         Infers shapes and value metadata, stages weights for the requested
@@ -945,9 +947,20 @@ class ExecutionPlan:
         output buffer with linear-scan reuse.  ``reuse_buffers=False`` gives
         every step a private output buffer and private scratch — required
         when steps may execute concurrently (branch-parallel engines).
+
+        ``mode`` selects the execution path of :meth:`CompiledEngine.run`:
+        ``"tape"`` (default) compiles the bound steps into a flat instruction
+        program with fused elementwise chains
+        (:mod:`repro.engine.program`); ``"steps"`` keeps the per-step
+        interpreter as the bit-exact reference path.  ``fuse=False``
+        disables the tape's elementwise-chain elimination (for A/B
+        benchmarking); both settings are bit-exact.
         """
         if accumulate not in ("blas", "int"):
             raise ValueError(f"unknown accumulation mode {accumulate!r}")
+        if mode not in ("tape", "steps"):
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             f"expected 'tape' or 'steps'")
         input_shape = tuple(int(s) for s in input_shape)
         pool = _BufferPool()
         ctx = _BindContext(pool, accumulate, share_scratch=reuse_buffers)
@@ -983,6 +996,12 @@ class ExecutionPlan:
             if out_buffer is not None:
                 buffers[key] = out_buffer
             bound = bound_cls(step, [v.slot for v in inputs], slots[step.name], out_buffer)
+            # Bind-time metadata for the tape compiler (and introspection):
+            # the value shapes/metas the binder inferred for this step.
+            bound.in_shapes = [v.shape for v in inputs]
+            bound.in_metas = [v.meta for v in inputs]
+            bound.out_shape = out_shape
+            bound.out_meta = out_meta
             bound_steps.append(bound)
             values[step.name] = _BoundValue(slot=slots[step.name], shape=out_shape,
                                             meta=out_meta)
@@ -991,10 +1010,17 @@ class ExecutionPlan:
                     if last == i and k in buffers:
                         pool.release(buffers.pop(k))
         output_value = values[self.output_name]
-        return CompiledEngine(plan=self, steps=bound_steps, input_shape=input_shape,
-                              output_slot=output_value.slot, output_shape=output_value.shape,
-                              output_meta=output_value.meta, slot_count=len(self.steps) + 1,
-                              pool=pool, accumulate=accumulate)
+        engine = CompiledEngine(plan=self, steps=bound_steps, input_shape=input_shape,
+                                output_slot=output_value.slot, output_shape=output_value.shape,
+                                output_meta=output_value.meta, slot_count=len(self.steps) + 1,
+                                pool=pool, accumulate=accumulate, mode=mode, fuse=fuse)
+        if mode == "tape":
+            # Compile (and, on a plan's first bind, autotune) the tape
+            # eagerly: serving never pays it mid-stream, and shard engines
+            # built on worker threads reuse the plan's cached choices
+            # race-free.
+            engine._ensure_tape()
+        return engine
 
     def profile(self, input_shape: tuple[int, ...], accumulate: str = "blas",
                 repeats: int = 5, x: np.ndarray | None = None) -> PlanProfile:
@@ -1049,7 +1075,8 @@ class CompiledEngine:
     def __init__(self, plan: ExecutionPlan, steps: list[_BoundStep],
                  input_shape: tuple[int, ...], output_slot: int,
                  output_shape: tuple[int, ...], output_meta: ValueMeta,
-                 slot_count: int, pool: _BufferPool, accumulate: str) -> None:
+                 slot_count: int, pool: _BufferPool, accumulate: str,
+                 mode: str = "steps", fuse: bool = True) -> None:
         self.plan = plan
         self.steps = steps
         self.input_shape = input_shape
@@ -1057,6 +1084,8 @@ class CompiledEngine:
         self.output_shape = output_shape
         self.output_meta = output_meta
         self.accumulate = accumulate
+        self.mode = mode
+        self.fuse = fuse
         self.buffers_created = pool.buffers_created
         self.buffer_bytes = pool.bytes_created
         #: dtype of the float staging/input buffers (the integer codes ride
@@ -1064,6 +1093,9 @@ class CompiledEngine:
         self.input_dtype = np.dtype(np.float64)
         self._partial_staging: np.ndarray | None = None
         self._env: list = [None] * slot_count
+        #: the compiled instruction program (lazily built on the first run
+        #: in tape mode; see :mod:`repro.engine.program`)
+        self.tape = None
         # int32 covers every quantized output stage; a bypassed final stage
         # can carry raw accumulator codes, which need the wider dtype.
         self._codes_dtype = (np.int64 if output_meta.max_abs > np.iinfo(np.int32).max
@@ -1083,13 +1115,36 @@ class CompiledEngine:
                              "(quantization codes for non-finite inputs are undefined)")
         return x
 
+    def _ensure_tape(self):
+        """Compile the instruction program on first use (tape mode only)."""
+        if self.tape is None:
+            from .program import compile_tape
+            self.tape = compile_tape(self, fuse=self.fuse)
+        return self.tape
+
     def run(self, x: np.ndarray) -> EngineOutput:
         """Execute the plan on a float input batch, returning integer codes.
 
-        The returned codes are a fresh array; internal buffers are reused
+        In ``"tape"`` mode (the default) the compiled instruction program
+        executes: a flat list of prebound kernel calls over a preallocated
+        buffer arena, bit-exact with the ``"steps"`` interpreter.  The
+        returned codes are a fresh array; internal buffers are reused
         across calls and must not leak to callers.
         """
         x = self._check_input(x)
+        if self.mode == "tape":
+            tape = self._ensure_tape()
+            np.copyto(tape.input_buffer, x)
+            tape.execute()
+            codes = tape.output_array.astype(self._codes_dtype)
+            return EngineOutput(codes=codes, fraction=self.output_meta.fraction,
+                                divisor=self.output_meta.divisor)
+        return self.run_steps(x, _checked=True)
+
+    def run_steps(self, x: np.ndarray, _checked: bool = False) -> EngineOutput:
+        """Execute through the per-step interpreter (the reference path)."""
+        if not _checked:
+            x = self._check_input(x)
         env = self._env
         env[0] = x  # steps only read the input; no defensive copy needed
         for step in self.steps:

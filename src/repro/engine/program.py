@@ -1,0 +1,751 @@
+"""The tape executor: flat instruction programs compiled from bound plans.
+
+The step interpreter (``CompiledEngine.run_steps``) walks a list of bound
+step objects, each dispatching through ``env``-slot indirection into a
+closure that issues several small NumPy calls.  At nano feature-map sizes
+the per-call and per-dispatch overhead rivals the arithmetic itself.
+:func:`compile_tape` lowers a bound engine into a :class:`TapeProgram` — a
+flat list of prebound zero-argument kernel calls over a preallocated buffer
+arena:
+
+* every instruction's input/output buffers are resolved **at compile time**
+  (no per-run environment lookups); reshape/flatten steps become zero-cost
+  buffer aliases and emit no instructions at all;
+* each step's requantize/activation/copy epilogue is compiled by
+  :class:`repro.engine.optimizer.ElementwiseChain` into a single composite
+  instruction with provably-identity operations eliminated;
+* tunable compute steps carry several bit-exact macro-kernel variants —
+  the window-view einsums, the legacy im2col/BLAS closures, and the tape's
+  :class:`~repro.engine.kernels.StackedShiftGeometry` GEMM — arbitrated by
+  a tape-level autotuner whose choices are cached on the plan (and ride
+  along in plan artifacts, so loaded deployments re-profile nothing);
+* any step without a native emitter falls back to wrapping its bound
+  ``run(env)`` closure as one instruction, so every plan the interpreter
+  can execute compiles to a tape, bit-exactly.
+
+The interpreter remains available as ``bind(..., mode="steps")`` — the
+reference path the parity suite checks the tape against on every registry
+model.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..graph.ir import OpKind
+from .counters import PIPELINE_COUNTERS
+from .kernels import (
+    StackedShiftGeometry,
+    max_pool_codes,
+    pack_stacked_depthwise_weights,
+    pack_stacked_weights,
+    pointwise_accumulate,
+)
+from .optimizer import (
+    ElementwiseChain,
+    _FusedActivationStep,
+    _FusedConvStep,
+    _FusedLinearStep,
+    _maximum_into,
+    _PointwiseConvStep,
+    tail_chain,
+)
+from .plan import (
+    _ActivationOnlyStep,
+    _AddStep,
+    _ConcatStep,
+    _GlobalAvgPoolStep,
+    _LeakyReLUStep,
+    _MaxPoolStep,
+    _QuantizeInputStep,
+    _relu6_bound,
+    _ReshapeStep,
+)
+
+__all__ = ["Instr", "TapeProgram", "compile_tape"]
+
+_INF = float("inf")
+
+#: stacked-shift staging is KH*KW times the input tensor; skip the variant
+#: when the stack would exceed this many elements (large feature maps are
+#: GEMM-bound anyway, so the variant only matters at small sizes).
+STACKGEMM_MAX_ELEMENTS = 4_000_000
+
+
+class Instr:
+    """One tape instruction: a prebound zero-argument kernel call."""
+
+    __slots__ = ("name", "op", "kind", "run")
+
+    def __init__(self, name: str, op: str, kind: str, run) -> None:
+        self.name = name
+        self.op = op
+        self.kind = kind
+        self.run = run
+
+    def __repr__(self) -> str:
+        return f"Instr({self.name!r}, {self.kind!r})"
+
+
+def _ops_runner(calls: list[tuple]):
+    """Collapse a compiled op chain into one zero-argument callable."""
+    if len(calls) == 1:
+        fn, args = calls[0]
+        return partial(fn, *args)
+
+    def run(calls=tuple(calls)):
+        for fn, args in calls:
+            fn(*args)
+
+    return run
+
+
+class _TunableGroup:
+    """A tunable macro-kernel slot: variant name -> instruction builder.
+
+    Builders are lazy so unchosen variants never allocate staging buffers;
+    the autotuner materializes all of them once, times them interleaved,
+    keeps the winner and drops the rest.
+    """
+
+    def __init__(self, name: str, op: str, builders: dict, default: str) -> None:
+        self.name = name
+        self.op = op
+        self.builders = builders
+        self.default = default
+        self.chosen = default
+        self._materialized: dict[str, list[Instr]] = {}
+
+    @property
+    def variants(self) -> tuple[str, ...]:
+        return tuple(self.builders)
+
+    def materialize(self, variant: str) -> list[Instr]:
+        if variant not in self._materialized:
+            self._materialized[variant] = self.builders[variant]()
+        return self._materialized[variant]
+
+    def choose(self, variant: str) -> None:
+        if variant not in self.builders:
+            raise ValueError(f"{self.name}: unknown tape variant {variant!r}; "
+                             f"available: {list(self.builders)}")
+        self.chosen = variant
+
+    def instructions(self) -> list[Instr]:
+        return self.materialize(self.chosen)
+
+    def drop_unchosen(self) -> None:
+        self._materialized = {self.chosen: self.materialize(self.chosen)}
+
+
+class TapeProgram:
+    """A compiled flat instruction program over a preallocated arena."""
+
+    def __init__(self, engine, input_buffer: np.ndarray, output_array: np.ndarray,
+                 items: list, report: dict, env_pins: list[tuple] | None = None) -> None:
+        self._engine = engine
+        self._env = engine._env
+        self.input_buffer = input_buffer
+        self.output_array = output_array
+        self.items = items
+        self.report = report
+        #: build-time (slot, array) environment assignments — restored when
+        #: an interleaved steps-mode run repointed the slots (alias views of
+        #: the caller's input would otherwise go stale for fallbacks)
+        self._env_pins = env_pins or [(0, input_buffer)]
+        self._calls: list = []
+        self.rebuild()
+
+    # ------------------------------------------------------------------ #
+    def rebuild(self) -> None:
+        """Flatten the chosen instructions into the hot-path call list."""
+        calls = []
+        for item in self.items:
+            if isinstance(item, _TunableGroup):
+                calls.extend(instr.run for instr in item.instructions())
+            else:
+                calls.append(item.run)
+        self._calls = calls
+        self.report["instructions"] = len(calls)
+        self.report["kernel_choices"] = self.choices()
+
+    def execute(self) -> None:
+        # Fallback instructions read the environment at run time; a
+        # steps-mode run repoints the slots (including alias views of the
+        # caller's input array), so restore the build-time pins when one
+        # happened.  Slot 0 doubles as the cheap detector.
+        env = self._env
+        if env[0] is not self.input_buffer:
+            for slot, array in self._env_pins:
+                env[slot] = array
+        for fn in self._calls:
+            fn()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tunable_groups(self) -> list[_TunableGroup]:
+        return [item for item in self.items if isinstance(item, _TunableGroup)]
+
+    def choices(self) -> dict[str, str]:
+        return {group.name: group.chosen for group in self.tunable_groups}
+
+    def apply_choices(self, choices: dict[str, str]) -> None:
+        for group in self.tunable_groups:
+            choice = choices.get(group.name)
+            if choice is not None and choice in group.builders:
+                group.choose(choice)
+        self.rebuild()
+
+    def autotune(self, repeats: int = 5) -> dict[str, str]:
+        """Micro-profile every tunable group's variants in place.
+
+        One full pass populates the staging buffers; each group's variants
+        are then timed interleaved (A B C, A B C, ...) with the per-variant
+        minimum taken, exactly like the step-level autotuner.  All variants
+        are bit-exact, so re-running a group never corrupts downstream
+        state.  Losing variants' staging buffers are dropped afterwards.
+        """
+        PIPELINE_COUNTERS.tape_autotune_runs += 1
+        self.execute()
+        for group in self.tunable_groups:
+            if len(group.builders) < 2:
+                group.drop_unchosen()
+                continue
+            instrs = {v: group.materialize(v) for v in group.variants}
+            for seq in instrs.values():          # warm every variant's buffers
+                for instr in seq:
+                    instr.run()
+            elapsed = {v: _INF for v in instrs}
+            for _ in range(repeats):
+                for variant, seq in instrs.items():
+                    start = time.perf_counter()
+                    for instr in seq:
+                        instr.run()
+                    elapsed[variant] = min(elapsed[variant],
+                                           time.perf_counter() - start)
+            group.choose(min(elapsed, key=elapsed.get))
+            group.drop_unchosen()
+        self.rebuild()
+        return self.choices()
+
+    def profile(self, repeats: int = 5) -> list[tuple[str, str, float]]:
+        """Per-instruction mean seconds (step name, kind, seconds)."""
+        self.execute()
+        flat: list = []
+        for item in self.items:
+            if isinstance(item, _TunableGroup):
+                flat.extend(item.instructions())
+            else:
+                flat.append(item)
+        totals = [0.0] * len(flat)
+        for _ in range(repeats):
+            self._env[0] = self.input_buffer
+            for i, instr in enumerate(flat):
+                start = time.perf_counter()
+                instr.run()
+                totals[i] += time.perf_counter() - start
+        return [(instr.name, instr.kind, total / repeats)
+                for instr, total in zip(flat, totals)]
+
+
+# ---------------------------------------------------------------------- #
+# Emission context
+# ---------------------------------------------------------------------- #
+class _TapeBuild:
+    def __init__(self, engine, fuse: bool) -> None:
+        self.engine = engine
+        self.fuse = fuse
+        self.arrays: dict[str, np.ndarray] = {}
+        self.report = {
+            "mode": "fused" if fuse else "unfused",
+            "native_steps": 0,
+            "fallback_steps": 0,
+            "aliased_views": 0,
+            "chains": 0,
+            "chain_ops_recorded": 0,
+            "chain_ops_emitted": 0,
+            "eliminated": {"scale": 0, "round": 0, "clip": 0, "slid_clips": 0},
+            "tunable_steps": 0,
+        }
+
+    def chain_calls(self, chain: ElementwiseChain) -> list[tuple]:
+        calls, stats = chain.compile()
+        self.report["chains"] += 1
+        self.report["chain_ops_recorded"] += stats["ops_recorded"]
+        self.report["chain_ops_emitted"] += stats["ops_emitted"]
+        for key in ("scale", "round", "clip"):
+            self.report["eliminated"][key] += stats[key]
+        self.report["eliminated"]["slid_clips"] += stats["slid_clips"]
+        return calls
+
+    def requantize_chain(self, src: np.ndarray, dst: np.ndarray, *, shift: int,
+                         qmin: int, qmax: int, divisor: int = 1,
+                         bound: float = _INF, integral: bool = True,
+                         src_mutable: bool = False) -> list[tuple]:
+        """Compiled ops for one ``requantize_codes`` call (maybe empty)."""
+        chain = ElementwiseChain(src, dst, bound=bound, integral=integral,
+                                 src_mutable=src_mutable, fuse=self.fuse)
+        chain.scale((2.0 ** float(-shift)) / float(divisor))
+        chain.round()
+        chain.clip(qmin, qmax)
+        return self.chain_calls(chain)
+
+
+def _meta_bound(meta) -> float:
+    return float(meta.max_abs) if meta.max_abs > 0 else _INF
+
+
+# ---------------------------------------------------------------------- #
+# Native emitters for the cheap plan steps
+# ---------------------------------------------------------------------- #
+def _emit_reshape(step, bound, ctx: _TapeBuild):
+    src = ctx.arrays[step.inputs[0]]
+    ctx.arrays[step.name] = src.reshape(bound.out_shape)
+    ctx.report["aliased_views"] += 1
+    return []
+
+
+def _emit_quantize_input(step, bound, ctx: _TapeBuild):
+    src = ctx.arrays[step.inputs[0]]
+    stage = step.stage
+    calls = ctx.requantize_chain(src, bound.output, shift=-stage.fraction,
+                                 qmin=stage.qmin, qmax=stage.qmax,
+                                 bound=_INF, integral=False)
+    return [Instr(step.name, step.op, "quantize", _ops_runner(calls))]
+
+
+def _emit_activation_only(step, bound, ctx: _TapeBuild):
+    src = ctx.arrays[step.inputs[0]]
+    meta = bound.in_metas[0]
+    if step.op == OpKind.RELU6:
+        hi = _relu6_bound(meta.fraction, meta.divisor, step.name)
+        run = partial(np.clip, src, 0.0, hi, out=bound.output)
+    else:
+        run = partial(np.maximum, src, 0.0, out=bound.output)
+    return [Instr(step.name, step.op, "activation", run)]
+
+
+def _emit_add(step, bound, ctx: _TapeBuild):
+    a, b = (ctx.arrays[name] for name in step.inputs)
+    meta_a, meta_b = bound.in_metas
+    shared = step.shared
+    out = bound.output
+    calls: list[tuple] = []
+    operands = []
+    for src, meta, dst in ((a, meta_a, None), (b, meta_b, out)):
+        shift = meta.fraction - shared.fraction
+        probe = ElementwiseChain(src, src, bound=_meta_bound(meta), integral=True,
+                                 src_mutable=False, fuse=ctx.fuse)
+        probe.scale((2.0 ** float(-shift)) / float(meta.divisor))
+        probe.round()
+        probe.clip(shared.qmin, shared.qmax)
+        ops, _ = probe.compile()
+        if not ops and ctx.fuse:
+            # No-op requantize: feed the producer's codes to the add directly.
+            operands.append(src)
+            ctx.report["chains"] += 1
+            for key in ("scale", "round", "clip"):
+                ctx.report["eliminated"][key] += 1
+        else:
+            target = dst if dst is not None else np.empty(bound.out_shape)
+            calls.extend(ctx.requantize_chain(
+                src, target, shift=shift, qmin=shared.qmin, qmax=shared.qmax,
+                divisor=meta.divisor, bound=_meta_bound(meta)))
+            operands.append(target)
+    calls.append((np.add, (operands[0], operands[1], out)))
+    tail = ElementwiseChain(out, out, bound=2.0 * _meta_bound(shared),
+                            integral=True, src_mutable=True, fuse=ctx.fuse)
+    if step.activation == "relu":
+        tail.relu()
+    elif step.activation == "relu6":
+        tail.relu6(_relu6_bound(shared.fraction, 1, step.name))
+    if step.output_stage is not None:
+        stage = step.output_stage
+        tail.scale(2.0 ** float(-(shared.fraction - stage.fraction)))
+        tail.round()
+        tail.clip(stage.qmin, stage.qmax)
+    calls.extend(ctx.chain_calls(tail))
+    return [Instr(step.name, step.op, "eltwise_add", _ops_runner(calls))]
+
+
+def _emit_concat(step, bound, ctx: _TapeBuild):
+    shared = step.shared
+    axis = step.axis
+    out = bound.output
+    sizes = [shape[axis] for shape in bound.in_shapes]
+    offsets = np.cumsum([0] + sizes)
+    calls: list[tuple] = []
+    for index, name in enumerate(step.inputs):
+        src = ctx.arrays[name]
+        meta = bound.in_metas[index]
+        region = tuple([slice(None)] * axis
+                       + [slice(int(offsets[index]), int(offsets[index + 1]))])
+        shift = meta.fraction - shared.fraction
+        chain = ElementwiseChain(src, out[region], bound=_meta_bound(meta),
+                                 integral=True, src_mutable=False, fuse=ctx.fuse)
+        chain.scale((2.0 ** float(-shift)) / float(meta.divisor))
+        chain.round()
+        chain.clip(shared.qmin, shared.qmax)
+        calls.extend(ctx.chain_calls(chain))
+    return [Instr(step.name, step.op, "concat", _ops_runner(calls))]
+
+
+def _emit_leaky_relu(step, bound, ctx: _TapeBuild):
+    src = ctx.arrays[step.inputs[0]]
+    meta = bound.in_metas[0]
+    internal = step.internal
+    x16 = np.empty(bound.out_shape)
+    scaled = np.empty(bound.out_shape)
+    calls = ctx.requantize_chain(src, x16, shift=meta.fraction - internal.fraction,
+                                 qmin=internal.qmin, qmax=internal.qmax,
+                                 divisor=meta.divisor, bound=_meta_bound(meta))
+    if not calls:
+        calls = [(np.copyto, (x16, src))]
+    calls.append((np.multiply, (x16, float(step.alpha_code), scaled)))
+    calls.extend(ctx.requantize_chain(
+        scaled, scaled, shift=step.alpha_fraction, qmin=internal.qmin,
+        qmax=internal.qmax, bound=float(internal.max_abs) * abs(step.alpha_code),
+        src_mutable=True))
+    calls.append((_maximum_into, (x16, scaled, scaled)))
+    if step.output_stage is not None:
+        stage = step.output_stage
+        calls.extend(ctx.requantize_chain(
+            scaled, bound.output, shift=internal.fraction - stage.fraction,
+            qmin=stage.qmin, qmax=stage.qmax, bound=float(internal.max_abs),
+            src_mutable=True))
+    else:
+        calls.append((np.copyto, (bound.output, scaled)))
+    return [Instr(step.name, step.op, "leaky_relu", _ops_runner(calls))]
+
+
+def _emit_max_pool(step, bound, ctx: _TapeBuild):
+    src = ctx.arrays[step.inputs[0]]
+    n, c, h, w = bound.in_shapes[0]
+    padded = None
+    if step.padding[0] or step.padding[1]:
+        padded = np.zeros((n, c, h + 2 * step.padding[0], w + 2 * step.padding[1]))
+    run = partial(max_pool_codes, src, step.kernel, step.stride, step.padding,
+                  padded, bound.output)
+    return [Instr(step.name, step.op, "max_pool", run)]
+
+
+def _emit_global_avg_pool(step, bound, ctx: _TapeBuild):
+    src = ctx.arrays[step.inputs[0]]
+    out = bound.output
+    keepdims = step.keepdims
+
+    def run():
+        np.sum(src, axis=(2, 3), keepdims=keepdims, out=out)
+
+    return [Instr(step.name, step.op, "global_avgpool", run)]
+
+
+# ---------------------------------------------------------------------- #
+# Compute-step emission (tunable macro kernels + fused tails)
+# ---------------------------------------------------------------------- #
+def _wrapped_variant(name: str, step, bound, env, impl) -> list[Instr]:
+    """A legacy bound-step kernel variant wrapped as one tape instruction."""
+    return [Instr(step.name, step.op, f"legacy[{name}]", partial(impl, bound, env))]
+
+
+def _stack_elements(geometry) -> int:
+    kh, kw = geometry.kernel
+    return (geometry.batch * kh * kw * geometry.in_channels
+            * geometry.out_height * geometry.out_width)
+
+
+def _emit_compute(step, bound, ctx: _TapeBuild, extra_activation=None,
+                  extra_relu6_bound=None):
+    info = getattr(bound, "_tape", None)
+    if info is None or ctx.engine.accumulate != "blas":
+        # Integer-backend engines (and unknown steps) run the reference
+        # closures verbatim via the fallback wrapper.
+        return None
+    x = ctx.arrays[step.inputs[0]]
+    out = bound.output
+    env = ctx.engine._env
+    fuse = ctx.fuse
+    kind = info["kind"]
+    builders: dict = {}
+
+    def chain_instr(name, calls):
+        return Instr(step.name, step.op, name, _ops_runner(calls))
+
+    def tail(constants, src, dst):
+        return tail_chain(constants, src, dst, src_mutable=True, fuse=fuse,
+                          extra_activation=extra_activation,
+                          extra_relu6_bound=extra_relu6_bound)[0]
+
+    if kind in ("dw", "conv"):
+        geometry = info["geometry"]
+
+        def make_einsum(g32: bool):
+            def build():
+                geo = info["geometry32"] if g32 else geometry
+                image = info["image32"] if g32 else info["image"]
+                constants = info["constants_img32" if g32 else "constants_img"]
+                weight = info["weight32"] if g32 else info["weight64"]
+                # Resolve the stable strided window view without running the
+                # staging fill (the input buffer holds garbage at compile
+                # time; filling would cast NaNs into the f32 staging).
+                kh, kw = geo.kernel
+                sh, sw = geo.stride
+                base = geo._padded if geo._padded is not None else x
+                win = sliding_window_view(base, (kh, kw),
+                                          axis=(2, 3))[:, :, ::sh, ::sw]
+                instrs: list[Instr] = []
+                if geo._padded is not None:
+                    ph, pw = geo.padding
+                    interior = geo._padded[:, :, ph:ph + geo.height,
+                                           pw:pw + geo.width]
+                    instrs.append(Instr(step.name, step.op, "pad_fill",
+                                        partial(np.copyto, interior, x)))
+                if kind == "dw":
+                    spec, operand, target = "nchwij,cij->nchw", win, image
+                    path = info["path"]
+                elif info.get("grouped"):
+                    g = info["groups"]
+                    cg = geo.in_channels // g
+                    kh, kw = geo.kernel
+                    operand = win.reshape(geo.batch, g, cg, geo.out_height,
+                                          geo.out_width, kh, kw)
+                    target = image.reshape(geo.batch, g,
+                                           geo.out_channels // g,
+                                           geo.out_height, geo.out_width)
+                    spec, path = "ngchwij,gocij->ngohw", info["path5"]
+                else:
+                    spec, operand, target = "nchwij,ocij->nohw", win, image
+                    path = info["path4"]
+
+                def run(spec=spec, operand=operand, weight=weight,
+                        target=target, path=path):
+                    np.einsum(spec, operand, weight, out=target, optimize=path)
+
+                instrs.append(Instr(step.name, step.op,
+                                    "einsum32" if g32 else "einsum", run))
+                instrs.append(chain_instr("chain", tail(constants, image, out)))
+                return instrs
+
+            return build
+
+        name64 = "blas" if kind == "dw" else "wingemm"
+        if kind == "dw" or name64 in bound._impls:
+            builders[name64] = make_einsum(False)
+        if info.get("geometry32") is not None:
+            builders[name64 + "32"] = make_einsum(True)
+
+        # Stacked-shift GEMM: ungrouped convs and depthwise (dense-embedded).
+        stackable = (info.get("groups", 1) == 1 or kind == "dw")
+        if (ctx.engine.accumulate == "blas" and stackable
+                and _stack_elements(geometry) <= STACKGEMM_MAX_ELEMENTS):
+
+            def make_stack(f32: bool):
+                def build():
+                    dtype = np.float32 if f32 else np.float64
+                    ssg = StackedShiftGeometry(
+                        geometry.batch, geometry.in_channels, geometry.height,
+                        geometry.width, geometry.kernel, geometry.stride,
+                        geometry.padding, dtype=dtype)
+                    weight_codes = info["step"].weight_codes
+                    if kind == "dw":
+                        packed = pack_stacked_depthwise_weights(weight_codes, dtype)
+                    else:
+                        packed = pack_stacked_weights(weight_codes, dtype)
+                    n = geometry.batch
+                    o = geometry.out_channels
+                    m = ssg.out_height * ssg.out_width
+                    constants = info["constants_img32" if f32 else "constants_img"]
+                    constants = dict(constants)
+                    if constants["bias_addend"] is not None:
+                        constants["bias_addend"] = \
+                            constants["bias_addend"].reshape(1, -1, 1)
+                    if not f32 and out.dtype == np.float64:
+                        acc = out.reshape(n, o, m)
+                    else:
+                        acc = np.empty((n, o, m), dtype=dtype)
+                    gemm_view = ssg.gemm_view
+
+                    def run_fill():
+                        ssg.fill(x)
+
+                    def run_gemm():
+                        np.matmul(packed, gemm_view, out=acc)
+
+                    dst = out.reshape(n, o, m)
+                    return [
+                        Instr(step.name, step.op, "stack_fill", run_fill),
+                        Instr(step.name, step.op, "stack_gemm", run_gemm),
+                        chain_instr("chain", tail(constants, acc, dst)),
+                    ]
+
+                return build
+
+            builders["stackgemm"] = make_stack(False)
+            if info.get("f32_ok"):
+                builders["stackgemm32"] = make_stack(True)
+
+        # Legacy closures cover the remaining variants (im2col BLAS, int).
+        for name, impl in bound._impls.items():
+            if name not in builders:
+                builders[name] = partial(_wrapped_variant, name, step, bound,
+                                         env, impl)
+        default = "stackgemm" if "stackgemm" in builders else name64
+        if default not in builders:
+            default = next(iter(builders))
+
+    elif kind == "pw":
+        subsample = info["subsample"]
+
+        def make_pw(f32: bool):
+            def build():
+                weight = info["weight32"] if f32 else info["weight64"]
+                staging = info["staging32"] if f32 else info["staging64"]
+                acc = info["acc32"] if f32 else info["acc"]
+                constants = info["constants32" if f32 else "constants"]
+                mode = "blas"
+                gemm = partial(pointwise_accumulate, x, weight, acc, staging,
+                               subsample, mode)
+                instrs = [Instr(step.name, step.op,
+                                "pw_gemm32" if f32 else "pw_gemm", gemm)]
+                instrs.append(chain_instr("chain",
+                                          tail(constants, acc, info["out_gemm"])))
+                return instrs
+
+            return build
+
+        builders["blas"] = make_pw(False)
+        if info.get("acc32") is not None:
+            builders["blas32"] = make_pw(True)
+        for name, impl in bound._impls.items():
+            if name not in builders:
+                builders[name] = partial(_wrapped_variant, name, step, bound,
+                                         env, impl)
+        default = "blas32" if "blas32" in builders else "blas"
+
+    elif kind == "fc":
+
+        def make_fc(f32: bool):
+            def build():
+                weight = info["weight32"] if f32 else info["weight64"]
+                acc = info["acc32"] if f32 else info["acc"]
+                constants = info["constants32" if f32 else "constants"]
+                calls: list[tuple] = []
+                operand = x
+                if f32:
+                    staging = info["staging32"]
+                    calls.append((np.copyto, (staging, x)))
+                    operand = staging
+                calls.append((np.matmul, (operand, weight, acc)))
+                instrs = [Instr(step.name, step.op,
+                                "fc_gemm32" if f32 else "fc_gemm",
+                                _ops_runner(calls))]
+                instrs.append(chain_instr("chain", tail(constants, acc, out)))
+                return instrs
+
+            return build
+
+        builders["blas"] = make_fc(False)
+        if info.get("acc32") is not None:
+            builders["blas32"] = make_fc(True)
+        for name, impl in bound._impls.items():
+            if name not in builders:
+                builders[name] = partial(_wrapped_variant, name, step, bound,
+                                         env, impl)
+        default = "blas32" if "blas32" in builders else "blas"
+
+    else:
+        return None
+
+    ctx.report["tunable_steps"] += 1
+    return [_TunableGroup(step.name, step.op, builders, default)]
+
+
+# ---------------------------------------------------------------------- #
+# The compiler
+# ---------------------------------------------------------------------- #
+_CHEAP_EMITTERS = {
+    _ReshapeStep: _emit_reshape,
+    _QuantizeInputStep: _emit_quantize_input,
+    _ActivationOnlyStep: _emit_activation_only,
+    _AddStep: _emit_add,
+    _ConcatStep: _emit_concat,
+    _LeakyReLUStep: _emit_leaky_relu,
+    _MaxPoolStep: _emit_max_pool,
+    _GlobalAvgPoolStep: _emit_global_avg_pool,
+}
+
+_COMPUTE_TYPES = (_FusedConvStep, _PointwiseConvStep, _FusedLinearStep)
+
+
+def compile_tape(engine, fuse: bool = True) -> TapeProgram:
+    """Lower a bound engine into a flat instruction program.
+
+    Native instructions are emitted for every step type the compiler knows;
+    anything else is wrapped as a single legacy-closure instruction, so the
+    tape is total over the plans the interpreter executes.  Tunable compute
+    steps are resolved from the plan's cached tape kernel choices when
+    present (artifact loads re-profile nothing); otherwise the tape
+    autotunes once and caches the choices on the plan.
+    """
+    PIPELINE_COUNTERS.tape_compilations += 1
+    plan = engine.plan
+    env = engine._env
+    input_buffer = np.zeros(engine.input_shape, dtype=engine.input_dtype)
+    env[0] = input_buffer
+    ctx = _TapeBuild(engine, fuse)
+    ctx.arrays[plan.input_name] = input_buffer
+
+    items: list = []
+    env_pins: list[tuple] = [(0, input_buffer)]
+    for step, bound in zip(plan.steps, engine.steps):
+        emitted = None
+        sym = step
+        extra_activation = extra_relu6_bound = None
+        if isinstance(sym, _FusedActivationStep):
+            if isinstance(sym.inner, _COMPUTE_TYPES):
+                extra_activation = sym.fused_activation
+                if extra_activation == "relu6":
+                    extra_relu6_bound = _relu6_bound(
+                        bound.out_meta.fraction, bound.out_meta.divisor, sym.name)
+                emitted = _emit_compute(sym, bound, ctx, extra_activation,
+                                        extra_relu6_bound)
+        elif isinstance(sym, _COMPUTE_TYPES):
+            emitted = _emit_compute(sym, bound, ctx)
+        else:
+            emitter = _CHEAP_EMITTERS.get(type(sym))
+            if emitter is not None:
+                emitted = emitter(sym, bound, ctx)
+        if emitted is None:
+            ctx.report["fallback_steps"] += 1
+            emitted = [Instr(step.name, step.op, "fallback",
+                             partial(bound.run, env))]
+        else:
+            ctx.report["native_steps"] += 1
+        items.extend(emitted)
+        if step.name not in ctx.arrays:
+            ctx.arrays[step.name] = bound.output
+        # Keep the environment coherent for fallback instructions (and for
+        # interleaved steps-mode runs: both paths share the buffers).
+        env[bound.output_slot] = ctx.arrays[step.name]
+        env_pins.append((bound.output_slot, ctx.arrays[step.name]))
+
+    tape = TapeProgram(engine, input_buffer, ctx.arrays[plan.output_name],
+                       items, ctx.report, env_pins)
+
+    if engine.accumulate == "blas" and tape.tunable_groups:
+        cached = getattr(plan, "tape_kernel_choices", None)
+        if cached:
+            tape.apply_choices(cached)
+            for group in tape.tunable_groups:
+                group.drop_unchosen()
+        elif getattr(plan, "autotune", True):
+            choices = tape.autotune()
+            try:
+                plan.tape_kernel_choices = dict(choices)
+            except AttributeError:  # exotic plan objects; cache is best-effort
+                pass
+    return tape

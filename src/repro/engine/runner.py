@@ -9,6 +9,13 @@ percentiles.  Request latency is measured from the request's arrival time to
 the completion of the batch that carried it, so queueing delay induced by
 batching is part of the number — the trade-off a serving stack actually
 makes.
+
+**Megabatch coalescing** (:func:`pack_partial_fills` /
+:meth:`BatchedRunner.run_partial_groups`): a partially filled batch costs
+exactly one full tape execution regardless of fill, so several pending
+partial fills are packed into one engine pass and the output codes sliced
+back out per group.  Every plan op is per-sample independent, so packing
+never changes a single code — only how many tape executions the fills cost.
 """
 
 from __future__ import annotations
@@ -19,9 +26,63 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .parallel import ShardedRunner
-from .plan import CompiledEngine
+from .plan import CompiledEngine, EngineOutput
 
-__all__ = ["RequestResult", "RunnerStats", "BatchedRunner"]
+__all__ = ["RequestResult", "RunnerStats", "BatchedRunner", "pack_partial_fills",
+           "run_partial_groups"]
+
+
+def pack_partial_fills(fills: list[int], batch_size: int) -> list[list[int]]:
+    """Greedily pack group fills into engine executions of ``<= batch_size``.
+
+    Order-preserving first-fit: groups are packed in sequence so each
+    execution carries consecutive groups whose total fill fits one batch.
+    """
+    packs: list[list[int]] = []
+    current: list[int] = []
+    used = 0
+    for index, fill in enumerate(fills):
+        if not 1 <= fill <= batch_size:
+            raise ValueError(f"group {index}: fill must be in [1, {batch_size}], "
+                             f"got {fill}")
+        if current and used + fill > batch_size:
+            packs.append(current)
+            current, used = [], 0
+        current.append(index)
+        used += fill
+    if current:
+        packs.append(current)
+    return packs
+
+
+def run_partial_groups(engine, groups: list[np.ndarray]
+                       ) -> tuple[list[EngineOutput], int]:
+    """Execute several partial fills in as few engine passes as possible.
+
+    Returns one :class:`EngineOutput` per input group (sliced from the
+    packed executions) plus the number of engine passes actually run.
+    Outputs are bit-identical to running each group through
+    ``engine.run_partial`` on its own.
+    """
+    fills = [np.asarray(g).shape[0] for g in groups]
+    packs = pack_partial_fills(fills, engine.batch_size)
+    outputs: list[EngineOutput | None] = [None] * len(groups)
+    for pack in packs:
+        if len(pack) == 1:
+            index = pack[0]
+            outputs[index] = engine.run_partial(np.asarray(
+                groups[index], dtype=engine.input_dtype))
+            continue
+        stacked = np.concatenate([np.asarray(groups[i], dtype=engine.input_dtype)
+                                  for i in pack], axis=0)
+        merged = engine.run_partial(stacked)
+        offset = 0
+        for i in pack:
+            outputs[i] = EngineOutput(codes=merged.codes[offset:offset + fills[i]],
+                                      fraction=merged.fraction,
+                                      divisor=merged.divisor)
+            offset += fills[i]
+    return outputs, len(packs)
 
 
 @dataclass(frozen=True)
@@ -50,6 +111,15 @@ class RunnerStats:
     latency_p95_ms: float = 0.0
     latency_p99_ms: float = 0.0
     latency_max_ms: float = 0.0
+    #: shard-worker provisioning: what was asked for, what actually ran, and
+    #: why (the auto-degrade decision of ShardedRunner, when it applies)
+    workers_requested: int = 1
+    workers_effective: int = 1
+    worker_decision: str = "as-requested"
+    #: megabatch accounting (run_partial_groups): how many partial-fill
+    #: groups were served and how many engine passes they actually cost
+    megabatch_groups: int = 0
+    megabatch_executions: int = 0
     _latencies_ms: list[float] = field(default_factory=list, repr=False)
 
     def finalize(self) -> None:
@@ -81,6 +151,11 @@ class RunnerStats:
             "latency_p95_ms": self.latency_p95_ms,
             "latency_p99_ms": self.latency_p99_ms,
             "latency_max_ms": self.latency_max_ms,
+            "workers_requested": self.workers_requested,
+            "workers_effective": self.workers_effective,
+            "worker_decision": self.worker_decision,
+            "megabatch_groups": self.megabatch_groups,
+            "megabatch_executions": self.megabatch_executions,
         }
 
 
@@ -95,18 +170,25 @@ class BatchedRunner:
     """
 
     def __init__(self, engine: CompiledEngine | ShardedRunner, *,
-                 workers: int = 1) -> None:
+                 workers: int = 1, auto_workers: bool = True) -> None:
         if not isinstance(engine, (CompiledEngine, ShardedRunner)):
             # Accept a Deployment (or any bundle carrying a bound engine).
             inner = getattr(engine, "engine", None)
             if isinstance(inner, (CompiledEngine, ShardedRunner)):
                 engine = inner
+        self.workers_requested = int(workers)
+        self.worker_decision = "as-requested"
         if workers > 1:
             if not isinstance(engine, CompiledEngine):
                 raise ValueError("workers > 1 requires a CompiledEngine to shard; "
                                  "pass an already-sharded runner as engine instead")
+            # auto_workers lets the sharded runner fall back to the
+            # single-thread path when the host cannot profit from shards
+            # (single core, or measured scaling below 1.0x).
             engine = ShardedRunner(engine.plan, engine.input_shape, workers=workers,
-                                   accumulate=engine.accumulate)
+                                   accumulate=engine.accumulate,
+                                   auto_degrade=auto_workers)
+            self.worker_decision = engine.worker_decision
         self.engine = engine
         self.batch_size = engine.batch_size
         self._staging = np.zeros(engine.input_shape, dtype=engine.input_dtype)
@@ -156,7 +238,10 @@ class BatchedRunner:
             raise ValueError("arrival_times_s must be non-decreasing (arrival order)")
 
         results: list[RequestResult] = []
-        stats = RunnerStats(batch_size=self.batch_size)
+        stats = RunnerStats(batch_size=self.batch_size,
+                            workers_requested=self.workers_requested,
+                            workers_effective=getattr(self.engine, "workers", 1),
+                            worker_decision=self.worker_decision)
         clock = 0.0  # virtual serving clock; advances by measured compute time
         for batch_index, begin in enumerate(range(0, total, self.batch_size)):
             end = min(begin + self.batch_size, total)
@@ -185,3 +270,28 @@ class BatchedRunner:
         stats.total_time_s = clock  # serving makespan on the virtual clock
         stats.finalize()
         return results, stats
+
+    def run_partial_groups(self, groups: list[np.ndarray]
+                           ) -> tuple[list, RunnerStats]:
+        """Serve several partial fills with megabatch coalescing.
+
+        Consecutive groups whose fills fit one engine batch execute in a
+        single tape pass; output codes per group are bit-identical to
+        serving each group alone.  Returns per-group
+        :class:`~repro.engine.plan.EngineOutput` objects plus stats
+        recording how many executions the groups actually cost.
+        """
+        stats = RunnerStats(batch_size=self.batch_size,
+                            workers_requested=self.workers_requested,
+                            workers_effective=getattr(self.engine, "workers", 1),
+                            worker_decision=self.worker_decision)
+        start = time.perf_counter()
+        outputs, executions = run_partial_groups(self.engine, groups)
+        stats.total_time_s = time.perf_counter() - start
+        stats.requests = sum(np.asarray(g).shape[0] for g in groups)
+        stats.batches = executions
+        stats.megabatch_groups = len(groups)
+        stats.megabatch_executions = executions
+        stats.throughput_rps = (stats.requests / stats.total_time_s
+                                if stats.total_time_s else 0.0)
+        return outputs, stats

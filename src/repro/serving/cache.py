@@ -44,9 +44,12 @@ class PlanCache:
                  compile_fn: Callable | None = None,
                  artifact_dir: str | Path | None = None,
                  key_fn: Callable[[str], str] | None = None,
+                 disk_max_bytes: int | None = None,
                  **compile_kwargs) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if disk_max_bytes is not None and disk_max_bytes < 1:
+            raise ValueError(f"disk_max_bytes must be >= 1, got {disk_max_bytes}")
         self.capacity = capacity
         if compile_fn is not None:
             self._compile = compile_fn
@@ -55,6 +58,7 @@ class PlanCache:
             self._compile = compile_registry_model
         self.compile_kwargs = compile_kwargs
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self.disk_max_bytes = disk_max_bytes
         self._key_fn = key_fn
         self._entries: OrderedDict[str, object] = OrderedDict()
         self._ever_resident: set[str] = set()
@@ -65,6 +69,7 @@ class PlanCache:
         self.disk_hits = 0
         self.disk_stores = 0
         self.disk_errors = 0
+        self.disk_evictions = 0
         self.compile_s: dict[str, float] = {}   # last compile wall time per model
         self.total_compile_s = 0.0
 
@@ -124,6 +129,10 @@ class PlanCache:
             self.disk_errors += 1
             return None
         self.disk_hits += 1
+        try:
+            path.touch()   # refresh the disk tier's LRU-by-mtime signal
+        except OSError:
+            pass
         return entry
 
     def _store_to_disk(self, name: str, entry: object) -> None:
@@ -135,6 +144,45 @@ class PlanCache:
             self.disk_stores += 1
         except OSError:
             self.disk_errors += 1
+            return
+        self._gc_disk(keep=path)
+
+    def _gc_disk(self, keep: Path | None = None) -> None:
+        """Bound the artifact dir to ``disk_max_bytes``, evicting LRU-by-mtime.
+
+        Disk hits :meth:`Path.touch` their artifact, so modification time is
+        the tier's recency signal.  The just-written artifact is never
+        evicted — a store must not immediately undo itself — and unreadable
+        directory entries are skipped (a concurrent cleanup is not an
+        error).
+        """
+        if self.artifact_dir is None or self.disk_max_bytes is None:
+            return
+        from ..deploy.artifact import ARTIFACT_SUFFIX
+        entries = []
+        total = 0
+        try:
+            for path in self.artifact_dir.glob(f"*{ARTIFACT_SUFFIX}"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        except OSError:
+            return
+        entries.sort()   # oldest mtime first
+        for mtime, size, path in entries:
+            if total <= self.disk_max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.disk_evictions += 1
 
     def get(self, name: str) -> object:
         """Fetch a compiled model: memory, then disk artifact, then compile."""
@@ -175,6 +223,8 @@ class PlanCache:
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
+            "disk_evictions": self.disk_evictions,
+            "disk_max_bytes": self.disk_max_bytes,
             "artifact_dir": str(self.artifact_dir) if self.artifact_dir else None,
             "total_compile_s": self.total_compile_s,
             "compile_s": dict(self.compile_s),

@@ -51,6 +51,10 @@ class ModelStats:
     compute_s: float = 0.0
     slo_met: int = 0
     slo_missed: int = 0
+    #: megabatch coalescing: policy batches that shared a packed engine
+    #: pass, and how many extra passes the packing saved
+    megabatch_batches: int = 0
+    megabatch_saved_executions: int = 0
 
     @property
     def shed_total(self) -> int:
@@ -69,6 +73,8 @@ class ModelStats:
             "mean_fill": self.filled_slots / self.batches if self.batches else 0.0,
             "padded_slots": self.padded_slots,
             "compute_s": self.compute_s,
+            "megabatch_batches": self.megabatch_batches,
+            "megabatch_saved_executions": self.megabatch_saved_executions,
         }
 
 
@@ -104,6 +110,12 @@ class MetricsCollector:
         stats.compute_s += compute_s
         self._busy_s += compute_s
 
+    def record_megabatch(self, model: str, packed_batches: int) -> None:
+        """``packed_batches`` policy batches shared one packed engine pass."""
+        stats = self.per_model[model]
+        stats.megabatch_batches += packed_batches
+        stats.megabatch_saved_executions += packed_batches - 1
+
     def record_completion(self, model: str, latency_s: float,
                           deadline_s: float | None = None) -> None:
         """Completions with a deadline also feed SLO attainment — a completed
@@ -132,12 +144,17 @@ class MetricsCollector:
             "max_depth": int(max(self._depth)),
         }
 
-    def report(self, makespan_s: float, workers: int = 1) -> dict:
+    def report(self, makespan_s: float, workers: int = 1,
+               execution: str = "virtual") -> dict:
         """Fleet-wide + per-model reduction over the collected events.
 
         ``workers`` is the dispatch-worker count; utilization is busy time
         over ``workers * makespan`` so it stays in [0, 1] for concurrent
-        fleets.
+        fleets.  ``execution`` labels the clock the events were recorded on:
+        ``"virtual"`` (the discrete-event simulation) or ``"real"``
+        (measured wall time on a live thread pool) — on a real run,
+        ``makespan_s``, ``goodput_rps`` and every latency percentile are
+        measured wall-clock numbers.
         """
         arrivals = sum(s.arrivals for s in self.per_model.values())
         completed = sum(s.completed for s in self.per_model.values())
@@ -150,6 +167,7 @@ class MetricsCollector:
                 else 0.0)
         return {
             "makespan_s": makespan_s,
+            "execution": execution,
             "fleet": {
                 "arrivals": arrivals,
                 "completed": completed,

@@ -8,11 +8,15 @@ through :func:`repro.deploy.compile`, LRU eviction, optional disk-backed
 artifact tier), and arrivals pass through
 :class:`~repro.serving.admission.AdmissionController` before queueing.
 
-Time is *virtual*, following ``BatchedRunner``'s convention: a batch starts
-once its queue's launch condition and a worker's availability allow, and
-advances the clock by its **measured** compute time (or by a caller-supplied
-``compute_time_fn(model, fill) -> seconds`` for deterministic simulation —
-the engine still executes for real so outputs stay bit-exact).
+Time is *virtual* by default, following ``BatchedRunner``'s convention: a
+batch starts once its queue's launch condition and a worker's availability
+allow, and advances the clock by its **measured** compute time (or by a
+caller-supplied ``compute_time_fn(model, fill) -> seconds`` for
+deterministic simulation — the engine still executes for real so outputs
+stay bit-exact).  ``execution="real"`` instead drives the dispatch workers
+as an actual thread pool over per-model tape engines and reports measured
+wall-clock throughput/latency, with megabatch coalescing of backlogged
+policy batches (see :meth:`FleetServer._serve_real`).
 
 Two orthogonal concurrency knobs:
 
@@ -34,6 +38,7 @@ before a launch instant are ingested first so they can join the batch.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -44,6 +49,7 @@ from ..deploy import compile as deploy_compile
 from ..deploy.artifact import config_key
 from ..deploy.config import CompileConfig
 from ..engine.parallel import ShardedRunner
+from ..engine.runner import run_partial_groups
 from ..models.registry import MODEL_REGISTRY, available_models
 from .admission import AdmissionController, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
@@ -84,6 +90,7 @@ class FleetReport:
     cost_model_s: dict
     wall_time_s: float = 0.0
     workers: int = 1
+    execution: str = "virtual"
 
     @property
     def fleet(self) -> dict:
@@ -105,6 +112,7 @@ class FleetReport:
         return {
             "policy": self.policy,
             "workers": self.workers,
+            "execution": self.execution,
             "metrics": self.metrics,
             "cache": self.cache,
             "cost_model_s": self.cost_model_s,
@@ -127,7 +135,9 @@ class FleetServer:
                  compute_time_fn: Callable[[str, int], float] | None = None,
                  warm: bool = True,
                  workers: int = 1,
-                 shard_workers: int = 1) -> None:
+                 shard_workers: int = 1,
+                 execution: str = "virtual",
+                 disk_max_bytes: int | None = None) -> None:
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must name at least one registry model")
@@ -153,11 +163,16 @@ class FleetServer:
         if image_size is not None:
             config = config.with_overrides(image_size=image_size)
         self.compile_config = config
+        if execution not in ("virtual", "real"):
+            raise ValueError(f"execution must be 'virtual' or 'real', "
+                             f"got {execution!r}")
+        self.execution = execution
         self.cache = PlanCache(
             cache_capacity if cache_capacity is not None else len(fleet),
             compile_fn=lambda name: deploy_compile(name, config),
             artifact_dir=artifact_dir,
             key_fn=lambda name: config_key(name, config),
+            disk_max_bytes=disk_max_bytes,
         )
         self.cost_model = EwmaCostModel()
         self.admission = AdmissionController(
@@ -233,7 +248,14 @@ class FleetServer:
 
     # ------------------------------------------------------------------ #
     def serve(self, requests: Sequence[Request]) -> FleetReport:
-        """Run the discrete-event loop over a request stream."""
+        """Serve a request stream.
+
+        ``execution="virtual"`` (default) runs the discrete-event loop on
+        the virtual clock; ``execution="real"`` drives the dispatch workers
+        as an actual thread pool over per-model tape engines and reports
+        measured wall-clock throughput/latency (see :meth:`_serve_real`).
+        Output codes per request are bit-identical between the two modes.
+        """
         reqs = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         seen_ids: set[int] = set()
         for req in reqs:
@@ -246,7 +268,12 @@ class FleetServer:
                 raise ValueError(f"duplicate request_id {req.request_id}; outcomes are "
                                  f"keyed by id, so ids must be unique per stream")
             seen_ids.add(req.request_id)
+        if self.execution == "real":
+            return self._serve_real(reqs)
+        return self._serve_virtual(reqs)
 
+    def _serve_virtual(self, reqs: list[Request]) -> FleetReport:
+        """The discrete-event loop over a pre-validated, sorted stream."""
         wall_start = time.perf_counter()
         pending = {m: 0 for m in self.fleet}
         for req in reqs:
@@ -346,4 +373,174 @@ class FleetServer:
             cost_model_s=self.cost_model.to_dict(),
             wall_time_s=time.perf_counter() - wall_start,
             workers=self.workers,
+            execution="virtual",
+        )
+
+    # ------------------------------------------------------------------ #
+    def _serve_real(self, reqs: list[Request]) -> FleetReport:
+        """Wall-clock serving: N dispatch workers on a real thread pool.
+
+        Ingestion is a deterministic single-threaded pass — every request
+        runs through admission control (using real queue depths and the
+        EWMA cost model) and lands in its model's queue before any worker
+        starts, so the set of shed requests and every output code are
+        reproducible run to run.  The dispatch workers then drain the
+        queues concurrently: each worker claims the deepest idle model's
+        queue, pops up to ``max_batch`` requests (packing **several** policy
+        batches into one tape execution when the backlog allows — megabatch
+        coalescing), and runs the model's engine outside the scheduler lock.
+        NumPy's BLAS releases the GIL, so different models' batches overlap
+        on real cores; each model serializes on its own engine, matching the
+        virtual mode's one-engine-per-model semantics.
+
+        Latency is measured wall time from serve start (the stream is
+        offered as a flood: scenario arrival offsets shape admission order
+        and the offered-rps metric, not the wall clock), and throughput is
+        completed requests over the measured makespan.  Batch composition
+        under thread scheduling is nondeterministic, but every plan op is
+        per-sample independent, so per-request output codes are not.
+        """
+        wall_start = time.perf_counter()
+        metrics = MetricsCollector(self.fleet)
+        outcomes: dict[int, ServedRequest] = {}
+        queues = {m: DynamicBatcher(m, self.policy) for m in self.fleet}
+
+        # Deterministic admission pass (flood ingestion).
+        for req in reqs:
+            metrics.record_arrival(req.model, req.arrival_s)
+            decision = self.admission.consider(req, req.arrival_s, req.arrival_s,
+                                               queues, self.policy)
+            if decision.admitted:
+                queues[req.model].push(req)
+            else:
+                metrics.record_shed(req.model, decision.reason)
+                outcomes[req.request_id] = ServedRequest(
+                    request_id=req.request_id, model=req.model, status="shed",
+                    shed_reason=decision.reason)
+            # Ingestion happens before the wall clock starts; stamping the
+            # samples at t=0 keeps the depth timeline on one (wall) clock.
+            metrics.record_queue_depth(0.0, sum(q.depth for q in queues.values()))
+
+        # Pin the admitted models' engines resident for the drain (the LRU
+        # cache is not touched from worker threads).
+        engines = {}
+        for model in self.fleet:
+            if queues[model].depth:
+                compiled = self.cache.get(model)
+                engines[model] = self._engine(model, compiled)
+
+        lock = threading.Lock()
+        work_ready = threading.Condition(lock)
+        model_busy = {m: False for m in self.fleet}
+        state = {"remaining": sum(q.depth for q in queues.values()),
+                 "batch_index": 0}
+        serve_start = time.perf_counter()
+
+        def pop_work():
+            """Claim the deepest idle queue; returns (model, policy batches).
+
+            Under the full-batch policy a short queue is a final partial
+            batch (the flood has fully arrived), so it flushes rather than
+            waits — matching the virtual loop's end-of-stream semantics.
+            """
+            best_model = None
+            for model in self.fleet:
+                queue = queues[model]
+                if model_busy[model] or not queue.depth:
+                    continue
+                if best_model is None or queue.depth > queues[best_model].depth:
+                    best_model = model
+            if best_model is None:
+                return None
+            queue = queues[best_model]
+            engine = engines[best_model]
+            groups = [queue.pop_batch()]
+            total = len(groups[0])
+            # Megabatch: pack further policy batches into the same tape pass.
+            while queue.depth and total + min(queue.depth, self.policy.max_batch) \
+                    <= engine.batch_size:
+                batch = queue.pop_batch()
+                groups.append(batch)
+                total += len(batch)
+            model_busy[best_model] = True
+            state["remaining"] -= total
+            return best_model, groups
+
+        failures: list[BaseException] = []
+
+        def worker(worker_index: int) -> None:
+            while True:
+                with work_ready:
+                    claim = pop_work()
+                    while claim is None:
+                        if state["remaining"] == 0 or failures:
+                            return
+                        work_ready.wait()
+                        claim = pop_work()
+                model, groups = claim
+                engine = engines[model]
+                try:
+                    images = [np.stack([r.image for r in batch])
+                              for batch in groups]
+                    start = time.perf_counter()
+                    group_outputs, executions = run_partial_groups(engine, images)
+                    elapsed = time.perf_counter() - start
+                except BaseException as exc:
+                    # A dead worker must not strand the fleet: surface the
+                    # failure, release the model, and wake the others so
+                    # they can drain or exit.
+                    with work_ready:
+                        failures.append(exc)
+                        model_busy[model] = False
+                        work_ready.notify_all()
+                    return
+                finish_wall = time.perf_counter() - serve_start
+                with work_ready:
+                    self.cost_model.observe(model, elapsed / max(1, executions))
+                    per_batch_s = elapsed / len(groups)
+                    if len(groups) > 1:
+                        metrics.record_megabatch(model, len(groups))
+                    for batch, output in zip(groups, group_outputs):
+                        batch_index = state["batch_index"]
+                        state["batch_index"] += 1
+                        fill = len(batch)
+                        metrics.record_batch(model, fill, self.batch_size,
+                                             per_batch_s)
+                        for offset, req in enumerate(batch):
+                            latency = finish_wall
+                            metrics.record_completion(model, latency,
+                                                      req.deadline_s)
+                            outcomes[req.request_id] = ServedRequest(
+                                request_id=req.request_id, model=model,
+                                status="completed", latency_s=latency,
+                                codes=output.codes[offset].copy(),
+                                batch_index=batch_index, batch_fill=fill,
+                                worker_index=worker_index)
+                    metrics.record_queue_depth(
+                        finish_wall, sum(q.depth for q in queues.values()))
+                    model_busy[model] = False
+                    work_ready.notify_all()
+
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"fleet-dispatch-{i}", daemon=True)
+                   for i in range(self.workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        makespan = time.perf_counter() - serve_start
+
+        report = metrics.report(makespan_s=makespan, workers=self.workers,
+                                execution="real")
+        return FleetReport(
+            policy=self.policy.describe(),
+            outcomes=[outcomes[rid] for rid in sorted(outcomes)],
+            metrics=report,
+            cache=self.cache.stats(),
+            cost_model_s=self.cost_model.to_dict(),
+            wall_time_s=time.perf_counter() - wall_start,
+            workers=self.workers,
+            execution="real",
         )

@@ -121,9 +121,11 @@ def test_artifact_round_trip_is_bit_exact(model_name, tmp_path):
     before = PIPELINE_COUNTERS.snapshot()
     loaded = Deployment.load(path)
     outputs = [loaded.run(batch).codes for batch in batches]
-    # Zero re-lowering, re-optimization and re-profiling on load + run.
+    # Zero re-lowering, re-optimization and re-profiling on load + run; the
+    # tape recompiles per bind (cheap) but its autotune comes from the cache.
     assert PIPELINE_COUNTERS.delta(before) == {
-        "lowerings": 0, "optimizations": 0, "autotune_runs": 0}
+        "lowerings": 0, "optimizations": 0, "autotune_runs": 0,
+        "tape_compilations": 1, "tape_autotune_runs": 0}
 
     for ref, out in zip(reference, outputs):
         np.testing.assert_array_equal(ref, out)
@@ -352,8 +354,9 @@ def test_serve_artifact_dir_gives_disk_tier_to_fleet(lenet_deployment, tmp_path)
     stats = second.cache.stats()
     assert stats["disk_hits"] == 1, "second fleet must warm vgg from disk"
     assert stats["recompiles"] == 0, "a disk-tier load is not a recompile"
-    assert PIPELINE_COUNTERS.delta(before) == {
-        "lowerings": 0, "optimizations": 0, "autotune_runs": 0}
+    delta = PIPELINE_COUNTERS.delta(before)
+    assert delta["lowerings"] == 0 and delta["optimizations"] == 0
+    assert delta["autotune_runs"] == 0 and delta["tape_autotune_runs"] == 0
 
     requests = _requests(8, "vgg_nano", seed=5)
     codes_first = [o.codes for o in first.serve(requests).outcomes]

@@ -1,0 +1,519 @@
+"""Tape executor: parity vs the step interpreter, fusion, megabatch, serving.
+
+The tape (:mod:`repro.engine.program`) must be *bit-exact* with the bound
+step interpreter on every registry model — fused chains on and off — and
+the megabatch packing must slice outputs identically to serving each fill
+alone.  Real-execution serving must reproduce the virtual loop's output
+codes request for request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import deploy
+from repro.deploy import CompileConfig, QuantConfig, RuntimeConfig
+from repro.engine import (
+    BatchedRunner,
+    ElementwiseChain,
+    ShardedRunner,
+    pack_partial_fills,
+)
+from repro.engine.program import TapeProgram
+from repro.models import MODEL_REGISTRY
+from repro.serving import SCENARIOS, FleetServer, generate_requests
+from repro.serving.workload import fleet_input_shapes
+
+IMAGE_SIZE = 8
+BATCH = 4
+
+SMALL = CompileConfig(
+    image_size=IMAGE_SIZE,
+    quant=QuantConfig(calibration_samples=8, calibration_batch_size=4),
+    runtime=RuntimeConfig(batch_size=BATCH),
+)
+
+
+def _batches(count: int = 2, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((BATCH, 3, IMAGE_SIZE, IMAGE_SIZE))
+            for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return deploy.compile("mobilenet_v1_nano", SMALL)
+
+
+# ---------------------------------------------------------------------- #
+# Tape vs steps parity
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_tape_matches_step_interpreter_on_registry_model(model_name):
+    deployment = deploy.compile(model_name, SMALL)
+    engine = deployment.engine
+    assert engine.mode == "tape"
+    assert isinstance(engine.tape, TapeProgram)
+    # Every step of every registry model has a native emitter.
+    assert engine.tape.report["fallback_steps"] == 0
+    for batch in _batches(2):
+        tape_codes = engine.run(batch).codes
+        step_codes = engine.run_steps(batch).codes
+        np.testing.assert_array_equal(tape_codes, step_codes)
+    # Repeat: cross-pass state (shared scratch, zero borders, the stacked
+    # buffers' zero fringes) must not corrupt later passes.
+    batch = _batches(1, seed=9)[0]
+    np.testing.assert_array_equal(engine.run(batch).codes,
+                                  engine.run_steps(batch).codes)
+
+
+def test_fused_and_unfused_tapes_are_bit_exact(mobilenet):
+    fused = mobilenet.engine
+    unfused = mobilenet.plan.bind(fused.input_shape, mode="tape", fuse=False)
+    steps = mobilenet.plan.bind(fused.input_shape, mode="steps")
+    for batch in _batches(3, seed=3):
+        reference = steps.run(batch).codes
+        np.testing.assert_array_equal(fused.run(batch).codes, reference)
+        np.testing.assert_array_equal(unfused.run(batch).codes, reference)
+    assert fused.tape.report["mode"] == "fused"
+    assert unfused.tape.report["mode"] == "unfused"
+    # Fusion must not *add* work: the fused tape emits no more chain ops.
+    assert (fused.tape.report["chain_ops_emitted"]
+            <= unfused.tape.report["chain_ops_emitted"])
+
+
+def test_interleaved_steps_and_tape_runs_stay_bit_exact():
+    """run_steps repoints env slots; the next tape run must restore them."""
+    deployment = deploy.compile("lenet_nano", SMALL.with_overrides(optimize=False))
+    engine = deployment.engine   # unoptimized: compute steps run as fallbacks
+    x1, x2 = _batches(2, seed=21)
+    reference = deployment.plan.bind(engine.input_shape, mode="steps").run(x2)
+    engine.run_steps(x1)
+    np.testing.assert_array_equal(engine.run(x2).codes, reference.codes)
+    engine.run(x1)
+    np.testing.assert_array_equal(engine.run_steps(x2).codes, reference.codes)
+
+
+def test_steps_mode_engine_compiles_no_tape(mobilenet):
+    engine = mobilenet.plan.bind(mobilenet.engine.input_shape, mode="steps")
+    assert engine.mode == "steps" and engine.tape is None
+    engine.run(_batches(1)[0])
+    assert engine.tape is None
+
+
+def test_tape_choices_are_cached_on_the_plan(mobilenet):
+    choices = mobilenet.plan.tape_kernel_choices
+    assert choices, "first tape compile must cache its kernel choices"
+    from repro.engine import PIPELINE_COUNTERS
+    before = PIPELINE_COUNTERS.snapshot()
+    rebound = mobilenet.plan.bind(mobilenet.engine.input_shape)
+    delta = PIPELINE_COUNTERS.delta(before)
+    assert delta["tape_autotune_runs"] == 0, "rebinds reuse cached choices"
+    assert rebound.tape.choices() == choices
+
+
+def test_unoptimized_plan_tape_parity():
+    deployment = deploy.compile("lenet_nano", SMALL.with_overrides(optimize=False))
+    engine = deployment.engine
+    batch = _batches(1)[0]
+    np.testing.assert_array_equal(engine.run(batch).codes,
+                                  engine.run_steps(batch).codes)
+
+
+def test_int_backend_tape_parity():
+    deployment = deploy.compile("lenet_nano", SMALL.with_overrides(accumulate="int"))
+    engine = deployment.engine
+    batch = _batches(1)[0]
+    np.testing.assert_array_equal(engine.run(batch).codes,
+                                  engine.run_steps(batch).codes)
+
+
+def test_forced_tape_variants_are_bit_exact(mobilenet):
+    """Force every tape macro-kernel variant; all must reproduce baseline."""
+    batch = _batches(1, seed=5)[0]
+    reference = mobilenet.engine.run_steps(batch).codes
+    seen = set()
+    for variant in ("blas", "blas32", "wingemm", "wingemm32",
+                    "stackgemm", "stackgemm32", "int"):
+        engine = mobilenet.plan.bind(mobilenet.engine.input_shape)
+        tape = engine.tape
+        forced = 0
+        for group in tape.tunable_groups:
+            if variant in group.variants:
+                group.choose(variant)
+                forced += 1
+        if not forced:
+            continue
+        tape.rebuild()
+        seen.add(variant)
+        np.testing.assert_array_equal(engine.run(batch).codes, reference,
+                                      err_msg=f"variant {variant}")
+    assert {"blas", "stackgemm", "stackgemm32", "int"} <= seen
+
+
+# ---------------------------------------------------------------------- #
+# The elementwise-chain compiler
+# ---------------------------------------------------------------------- #
+def test_chain_eliminates_provable_noops():
+    src = np.arange(-8, 8, dtype=np.float64).reshape(4, 4)
+    dst = np.empty_like(src)
+    chain = ElementwiseChain(src, dst, bound=7.0, integral=True)
+    chain.scale(1.0)     # identity scale
+    chain.round()        # integral value
+    chain.clip(-100, 100)  # bound 7 is inside
+    calls, stats = chain.compile()
+    assert stats["scale"] == 1 and stats["round"] == 1 and stats["clip"] == 1
+    assert stats["copies"] == 1 and len(calls) == 1   # degenerates to a copy
+    for fn, args in calls:
+        fn(*args)
+    np.testing.assert_array_equal(dst, src)
+
+
+def test_chain_relu_slides_into_final_clip():
+    src = np.array([-6.0, -1.0, 0.0, 3.0, 9.0])
+    chain = ElementwiseChain(src, np.empty_like(src), bound=float("inf"),
+                             integral=True)
+    chain.relu()
+    chain.scale(0.5)
+    chain.round()
+    chain.clip(-4, 4)
+    calls, stats = chain.compile()
+    assert stats["slid_clips"] == 1
+    for fn, args in calls:
+        fn(*args)
+    expected = np.clip(np.rint(np.maximum(src, 0.0) * 0.5), -4, 4)
+    np.testing.assert_array_equal(chain.dst, expected)
+
+
+def test_chain_does_not_slide_off_grid_clip():
+    # clip at 1.5 does not commute with rounding — must stay in place.
+    src = np.array([1.7, 2.4, -3.0])
+    chain = ElementwiseChain(src, np.empty_like(src), bound=float("inf"),
+                             integral=False)
+    chain.clip(0.0, 1.5)
+    chain.scale(2.0)
+    chain.round()
+    chain.clip(-10, 10)
+    calls, stats = chain.compile()
+    assert stats["slid_clips"] == 0
+    for fn, args in calls:
+        fn(*args)
+    expected = np.clip(np.rint(np.clip(src, 0.0, 1.5) * 2.0), -10, 10)
+    np.testing.assert_array_equal(chain.dst, expected)
+
+
+def test_chain_unfused_emits_everything():
+    src = np.ones((2, 2))
+    chain = ElementwiseChain(src, np.empty_like(src), bound=1.0, integral=True,
+                             fuse=False)
+    chain.scale(1.0)
+    chain.round()
+    chain.clip(-8, 8)
+    calls, stats = chain.compile()
+    assert stats["ops_emitted"] == 3 and len(calls) == 3
+
+
+# ---------------------------------------------------------------------- #
+# Megabatch coalescing
+# ---------------------------------------------------------------------- #
+def test_pack_partial_fills_is_order_preserving():
+    assert pack_partial_fills([2, 2, 3, 4, 1], 4) == [[0, 1], [2], [3], [4]]
+    assert pack_partial_fills([1, 1, 1, 1], 4) == [[0, 1, 2, 3]]
+    assert pack_partial_fills([4], 4) == [[0]]
+    with pytest.raises(ValueError):
+        pack_partial_fills([5], 4)
+    with pytest.raises(ValueError):
+        pack_partial_fills([0], 4)
+
+
+def test_megabatch_slicing_matches_run_partial_at_every_fill(mobilenet):
+    engine = mobilenet.engine
+    rng = np.random.default_rng(11)
+    runner = BatchedRunner(engine)
+    for fill in range(1, engine.batch_size + 1):
+        groups = [rng.standard_normal((fill, 3, IMAGE_SIZE, IMAGE_SIZE)),
+                  rng.standard_normal((max(1, engine.batch_size - fill),
+                                       3, IMAGE_SIZE, IMAGE_SIZE))]
+        outputs, stats = runner.run_partial_groups(groups)
+        assert stats.megabatch_groups == 2
+        assert 1 <= stats.megabatch_executions <= 2
+        for group, output in zip(groups, outputs):
+            direct = engine.run_partial(group)
+            np.testing.assert_array_equal(output.codes, direct.codes)
+            assert output.fraction == direct.fraction
+            assert output.divisor == direct.divisor
+
+
+def test_megabatch_packs_small_fills_into_one_execution(mobilenet):
+    engine = mobilenet.engine
+    rng = np.random.default_rng(12)
+    groups = [rng.standard_normal((1, 3, IMAGE_SIZE, IMAGE_SIZE))
+              for _ in range(engine.batch_size)]
+    runner = BatchedRunner(engine)
+    outputs, stats = runner.run_partial_groups(groups)
+    assert stats.megabatch_executions == 1     # all fills share one tape pass
+    assert len(outputs) == engine.batch_size
+
+
+# ---------------------------------------------------------------------- #
+# Sharded auto-degrade
+# ---------------------------------------------------------------------- #
+def test_sharded_runner_degrades_on_single_core(mobilenet, monkeypatch):
+    monkeypatch.setattr("os.cpu_count", lambda: 1)
+    runner = ShardedRunner(mobilenet.plan, mobilenet.engine.input_shape,
+                           workers=4, auto_degrade=True)
+    assert runner.workers == 1
+    assert runner.workers_requested == 4
+    assert "single-core" in runner.worker_decision
+    batch = _batches(1)[0]
+    np.testing.assert_array_equal(runner.run(batch).codes,
+                                  mobilenet.engine.run(batch).codes)
+    runner.close()
+
+
+def test_batched_runner_records_worker_decision(mobilenet, monkeypatch):
+    monkeypatch.setattr("os.cpu_count", lambda: 1)
+    with BatchedRunner(mobilenet.engine, workers=4) as runner:
+        _, stats = runner.run(_batches(1)[0])
+        assert stats.workers_requested == 4
+        assert stats.workers_effective == 1
+        assert "single-core" in stats.worker_decision
+
+
+def test_sharded_runner_without_auto_degrade_keeps_workers(mobilenet, monkeypatch):
+    monkeypatch.setattr("os.cpu_count", lambda: 1)
+    runner = ShardedRunner(mobilenet.plan, mobilenet.engine.input_shape,
+                           workers=2)
+    assert runner.workers == 2
+    batch = _batches(1)[0]
+    np.testing.assert_array_equal(runner.run(batch).codes,
+                                  mobilenet.engine.run(batch).codes)
+    runner.close()
+
+
+# ---------------------------------------------------------------------- #
+# Real-execution serving
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def real_scenario_requests():
+    scenario = SCENARIOS["sparse_poisson"]
+    shapes = fleet_input_shapes(scenario.models, IMAGE_SIZE)
+    return scenario, generate_requests(scenario, shapes, seed=4)
+
+
+def _server(execution: str, **kwargs) -> FleetServer:
+    return FleetServer(["lenet_nano", "mobilenet_v1_nano"], batch_size=BATCH,
+                       image_size=IMAGE_SIZE,
+                       compile_config=SMALL, execution=execution, **kwargs)
+
+
+def test_real_execution_reports_wall_clock_metrics(real_scenario_requests):
+    _, requests = real_scenario_requests
+    server = _server("real", workers=2)
+    report = server.serve(requests)
+    assert report.execution == "real"
+    assert report.metrics["execution"] == "real"
+    fleet = report.fleet
+    assert fleet["completed"] + fleet["shed"] == len(requests)
+    assert fleet["completed"] > 0
+    assert fleet["goodput_rps"] > 0, "wall-clock throughput must be measured"
+    assert report.metrics["makespan_s"] > 0
+    assert fleet["latency_ms"]["p99"] > 0
+    server.close()
+
+
+def test_real_execution_results_match_virtual_results(real_scenario_requests):
+    """Output codes and the shed set are order-independent and bit-exact."""
+    _, requests = real_scenario_requests
+    virtual = _server("virtual").serve(requests)
+    real = _server("real", workers=2).serve(requests)
+    v_outcomes = {o.request_id: o for o in virtual.outcomes}
+    r_outcomes = {o.request_id: o for o in real.outcomes}
+    assert set(v_outcomes) == set(r_outcomes)
+    # Virtual and real admission see different queue dynamics, so the shed
+    # *sets* may differ; but every request completed by both must carry
+    # identical codes, and the real run must be internally deterministic.
+    both_completed = [rid for rid in v_outcomes
+                     if v_outcomes[rid].completed and r_outcomes[rid].completed]
+    assert both_completed
+    for rid in both_completed:
+        np.testing.assert_array_equal(v_outcomes[rid].codes,
+                                      r_outcomes[rid].codes)
+    again = _server("real", workers=2).serve(requests)
+    a_outcomes = {o.request_id: o for o in again.outcomes}
+    assert {rid for rid, o in a_outcomes.items() if o.status == "shed"} \
+        == {rid for rid, o in r_outcomes.items() if o.status == "shed"}
+    for rid, outcome in r_outcomes.items():
+        if outcome.completed:
+            np.testing.assert_array_equal(outcome.codes, a_outcomes[rid].codes)
+
+
+def test_real_execution_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="execution"):
+        _server("warp-speed")
+
+
+def test_real_execution_surfaces_worker_failures_instead_of_hanging():
+    """A poisoned request (NaN image) must raise, not deadlock the pool."""
+    from repro.serving import Request
+
+    rng = np.random.default_rng(3)
+    requests = [Request(i, "lenet_nano", 0.0,
+                        rng.standard_normal((3, IMAGE_SIZE, IMAGE_SIZE)),
+                        deadline_s=None)
+                for i in range(6)]
+    poisoned = np.full((3, IMAGE_SIZE, IMAGE_SIZE), np.nan)
+    requests.append(Request(6, "lenet_nano", 0.0, poisoned, deadline_s=None))
+    server = _server("real", workers=2)
+    with pytest.raises(ValueError, match="finite"):
+        server.serve(requests)
+    server.close()
+
+
+# ---------------------------------------------------------------------- #
+# Disk-tier GC
+# ---------------------------------------------------------------------- #
+def test_plan_cache_disk_tier_evicts_lru_by_mtime(tmp_path):
+    import os
+    import time as _time
+
+    from repro.serving import PlanCache
+
+    class FakeEntry:
+        def __init__(self, payload: bytes) -> None:
+            self.payload = payload
+
+        def save(self, path):
+            with open(path, "wb") as fh:
+                fh.write(self.payload)
+
+    compiled: list[str] = []
+
+    def compile_fn(name):
+        compiled.append(name)
+        return FakeEntry(b"x" * 512)
+
+    cache = PlanCache(4, compile_fn=compile_fn, artifact_dir=tmp_path,
+                      disk_max_bytes=1100)
+    for index, name in enumerate(["a", "b", "c"]):
+        cache.get(name)
+        # distinct mtimes so LRU order is deterministic
+        artifact = cache.artifact_path(name)
+        stamp = _time.time() + index
+        os.utime(artifact, (stamp, stamp))
+        cache._gc_disk()
+    names = {p.name.split("-")[0] for p in tmp_path.glob("*.rpa")}
+    assert names == {"b", "c"}, "oldest artifact must be evicted"
+    assert cache.disk_evictions >= 1
+    assert cache.stats()["disk_evictions"] == cache.disk_evictions
+    assert cache.stats()["disk_max_bytes"] == 1100
+
+
+def test_plan_cache_disk_gc_never_evicts_fresh_store(tmp_path):
+    from repro.serving import PlanCache
+
+    class BigEntry:
+        def save(self, path):
+            with open(path, "wb") as fh:
+                fh.write(b"y" * 4096)
+
+    cache = PlanCache(2, compile_fn=lambda name: BigEntry(),
+                      artifact_dir=tmp_path, disk_max_bytes=1000)
+    cache.get("only")
+    assert cache.artifact_path("only").exists(), \
+        "a store larger than the bound must not evict itself"
+
+
+# ---------------------------------------------------------------------- #
+# Artifact v1 -> v2 migration
+# ---------------------------------------------------------------------- #
+def test_v1_artifact_migrates_by_relowering(tmp_path, monkeypatch):
+    from repro.deploy import ARTIFACT_VERSION, Deployment, artifact
+    from repro.engine import PIPELINE_COUNTERS
+
+    fresh = deploy.compile("lenet_nano", SMALL)
+    path = tmp_path / "legacy.rpa"
+    monkeypatch.setattr(artifact, "ARTIFACT_VERSION", 1)
+    fresh.save(path)
+    monkeypatch.undo()
+
+    batch = _batches(1)[0]
+    reference = fresh.run(batch).codes
+
+    before = PIPELINE_COUNTERS.snapshot()
+    with pytest.warns(UserWarning, match="format version 1"):
+        migrated = Deployment.load(path)
+    delta = PIPELINE_COUNTERS.delta(before)
+    assert delta["lowerings"] == 1, "migration re-lowers from the config"
+    assert migrated.source == "artifact-migrated"
+    np.testing.assert_array_equal(migrated.run(batch).codes, reference)
+
+    # The artifact was rewritten in the current format: the next load is a
+    # plain artifact load with zero pipeline work.
+    before = PIPELINE_COUNTERS.snapshot()
+    reloaded = Deployment.load(path)
+    delta = PIPELINE_COUNTERS.delta(before)
+    assert delta["lowerings"] == 0 and delta["autotune_runs"] == 0
+    assert delta["tape_autotune_runs"] == 0
+    assert reloaded.artifact_manifest["version"] == ARTIFACT_VERSION
+    np.testing.assert_array_equal(reloaded.run(batch).codes, reference)
+
+
+def test_v1_artifact_without_migration_raises(tmp_path, monkeypatch):
+    from repro.deploy import ArtifactVersionError, Deployment, artifact
+
+    fresh = deploy.compile("lenet_nano", SMALL)
+    path = tmp_path / "legacy.rpa"
+    monkeypatch.setattr(artifact, "ARTIFACT_VERSION", 1)
+    fresh.save(path)
+    monkeypatch.undo()
+    with pytest.raises(ArtifactVersionError, match="older format version 1"):
+        Deployment.load(path, migrate=False)
+
+
+def test_v1_artifact_for_non_registry_model_raises_clearly(tmp_path, monkeypatch):
+    """Migration only re-lowers registry compiles; others get a clear error."""
+    import json
+    import zipfile
+
+    from repro.deploy import ArtifactVersionError, Deployment, artifact
+
+    fresh = deploy.compile("lenet_nano", SMALL)
+    path = tmp_path / "graph.rpa"
+    monkeypatch.setattr(artifact, "ARTIFACT_VERSION", 1)
+    fresh.save(path)
+    monkeypatch.undo()
+    # Rewrite the manifest to claim a non-registry (GraphIR-sourced) model.
+    with zipfile.ZipFile(path) as archive:
+        manifest = json.loads(archive.read("manifest.json"))
+        payload = archive.read("plan.pkl")
+    manifest["model"] = "custom_graph"
+    with zipfile.ZipFile(path, "w") as archive:
+        archive.writestr("manifest.json", json.dumps(manifest))
+        archive.writestr("plan.pkl", payload)
+    with pytest.raises(ArtifactVersionError, match="not a registry model"):
+        Deployment.load(path)
+
+
+def test_future_artifact_version_still_raises(tmp_path, monkeypatch):
+    from repro.deploy import ArtifactError, Deployment, artifact
+
+    fresh = deploy.compile("lenet_nano", SMALL)
+    path = tmp_path / "future.rpa"
+    monkeypatch.setattr(artifact, "ARTIFACT_VERSION", 99)
+    fresh.save(path)
+    monkeypatch.undo()
+    with pytest.raises(ArtifactError):
+        Deployment.load(path)
+
+
+def test_v2_artifact_carries_tape_choices(tmp_path, mobilenet):
+    path = tmp_path / "tape.rpa"
+    mobilenet.save(path)
+    loaded = deploy.Deployment.load(path)
+    manifest = loaded.artifact_manifest
+    assert manifest["version"] == deploy.ARTIFACT_VERSION
+    assert manifest["tape_kernel_choices"] == mobilenet.plan.tape_kernel_choices
+    assert loaded.engine.mode == "tape"
+    assert loaded.engine.tape.choices() == mobilenet.plan.tape_kernel_choices
