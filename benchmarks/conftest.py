@@ -55,6 +55,41 @@ BENCH_SETTINGS = dict(
 MOBILENET_SPREAD = 64.0
 
 
+def pytest_runtest_protocol(item, nextitem):
+    """Automatic rerun of failed benches when ``BENCH_RETRIES`` is set.
+
+    Wall-clock benchmarks (real thread pools, spawned worker processes) can
+    flake on loaded shared runners; CI exports ``BENCH_RETRIES=1`` so one
+    transient failure retries once before the job goes red.  Unset or ``0``
+    (the local default) leaves pytest's stock protocol untouched, so flakes
+    stay visible during development.  Only the final attempt's reports are
+    logged; earlier failed attempts are announced on stdout.
+    """
+    retries = int(os.environ.get("BENCH_RETRIES", "0") or 0)
+    if retries <= 0:
+        return None
+    from _pytest.runner import runtestprotocol
+
+    ihook = item.ihook
+    for attempt in range(retries + 1):
+        ihook.pytest_runtest_logstart(nodeid=item.nodeid, location=item.location)
+        reports = runtestprotocol(item, nextitem=nextitem, log=False)
+        if not any(report.failed for report in reports) or attempt == retries:
+            for report in reports:
+                ihook.pytest_runtest_logreport(report=report)
+            ihook.pytest_runtest_logfinish(nodeid=item.nodeid,
+                                           location=item.location)
+            return True
+        ihook.pytest_runtest_logfinish(nodeid=item.nodeid, location=item.location)
+        print(f"\n[bench-retry] {item.nodeid} failed on attempt "
+              f"{attempt + 1}/{retries + 1}; retrying")
+        # Drop cached fixture state so the rerun sets up from scratch
+        # (session-scoped fixtures survive, mirroring a plain rerun).
+        if hasattr(item, "_initrequest"):
+            item._initrequest()
+    return True
+
+
 @pytest.fixture(scope="session")
 def report_writer():
     REPORT_DIR.mkdir(exist_ok=True)

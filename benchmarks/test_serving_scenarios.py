@@ -129,13 +129,32 @@ def test_serving_scenarios(benchmark, report_writer):
                  f"{wall.latency_ms('p50'):.2f}", f"{wall.latency_ms('p99'):.2f}",
                  "-", "-"])
 
+    # Same stream once more on the PROCESS backend: two worker processes,
+    # per-process engines warmed from .rpa artifacts, codes over shared
+    # memory.  This is the measured multiprocess row that sits next to the
+    # virtual-clock prediction of the same scenario in BENCH_serving.json.
+    proc_server = FleetServer(FLEET, batch_size=BATCH, image_size=IMAGE_SIZE,
+                              policy=POLICIES["dynamic"],
+                              admission=AdmissionPolicy(max_queue_depth=128),
+                              compile_kwargs=COMPILE_KWARGS,
+                              workers=2, execution="real", backend="process")
+    proc_wall = proc_server.serve(steady)
+    proc_server.close()
+    assert proc_wall.backend == "process"
+    assert proc_wall.completed > 0 and proc_wall.fleet["goodput_rps"] > 0
+    rows.append(["steady_poisson(proc)", "dynamic", proc_wall.fleet["arrivals"],
+                 proc_wall.completed, proc_wall.shed,
+                 f"{proc_wall.fleet['goodput_rps']:.0f}",
+                 f"{proc_wall.latency_ms('p50'):.2f}",
+                 f"{proc_wall.latency_ms('p99'):.2f}", "-", "-"])
+
     report_writer("serving_scenarios", format_table(
         ["scenario", "policy", "offered", "completed", "shed", "goodput rps",
          "p50 ms", "p99 ms", "SLO met", "mean fill"],
         rows,
         title=f"Fleet serving — {' + '.join(FLEET)}, batch {BATCH}, "
               f"max_wait {MAX_WAIT_S * 1e3:.0f}ms (* = deterministic 2ms batches; "
-              f"(wall) = measured on a real thread pool)",
+              f"(wall) = real thread pool; (proc) = real worker processes)",
     ))
 
     payload = {
@@ -155,7 +174,12 @@ def test_serving_scenarios(benchmark, report_writer):
         "wall_clock": {
             "scenario": "steady_poisson",
             "workers": 2,
-            "report": wall.to_dict(),
+            # Virtual-clock prediction of the same scenario/policy cell, for
+            # the MLSYSIM-style predicted-vs-measured comparison.
+            "virtual_goodput_rps":
+                cells["steady_poisson/dynamic"]["metrics"]["fleet"]["goodput_rps"],
+            "thread": wall.to_dict(),
+            "process": proc_wall.to_dict(),
         },
         "unix_time": time.time(),
     }

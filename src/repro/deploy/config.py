@@ -194,6 +194,8 @@ class ServeConfig:
     artifact_dir: str | Path | None = None   # disk tier for the plan cache
     disk_max_bytes: int | None = None        # disk-tier size bound (LRU GC)
     execution: str = "virtual"        # "virtual" clock | "real" thread pool
+    backend: str = "thread"           # real-execution workers: "thread" | "process"
+    priority_shed: bool = True        # preempt lower-priority queued requests
     warm: bool = True
 
     def __post_init__(self) -> None:
@@ -206,6 +208,9 @@ class ServeConfig:
         if self.execution not in ("virtual", "real"):
             raise ValueError(f"execution must be 'virtual' or 'real', "
                              f"got {self.execution!r}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', "
+                             f"got {self.backend!r}")
 
     def to_dict(self) -> dict:
         data = asdict(self)

@@ -25,12 +25,20 @@ from __future__ import annotations
 
 import warnings
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
 from ..data import SyntheticImageNet, sample_calibration_batches
 from ..engine.optimizer import OptimizedPlan, optimize_plan
-from ..engine.plan import CompiledEngine, EngineOutput, ExecutionPlan, PlanProfile, lower_graph
+from ..engine.plan import (
+    CompiledEngine,
+    EngineOutput,
+    ExecutionPlan,
+    PlanProfile,
+    StepTiming,
+    lower_graph,
+)
 from ..engine.runner import BatchedRunner
 from ..graph import GraphIR, QuantizedModel, quantize_static, transforms
 from ..models.compiled import CompiledModel
@@ -225,9 +233,38 @@ class Deployment:
         """Execute a partially filled batch (``1 <= fill <= batch_size``)."""
         return self.engine.run_partial(images)
 
-    def profile(self, x: np.ndarray | None = None, repeats: int = 5) -> PlanProfile:
-        """Per-step timing breakdown of the bound engine."""
-        return self.engine.profile(x=x, repeats=repeats)
+    def profile(self, x: np.ndarray | None = None, repeats: int = 5,
+                level: str = "steps") -> PlanProfile:
+        """Timing breakdown of the bound engine.
+
+        ``level="steps"`` (default) times the plan's step interpreter — one
+        row per lowered plan step.  ``level="tape"`` times the compiled
+        instruction program the default runtime actually executes: fused
+        elementwise chains appear as single instructions and tunable groups
+        resolve to their chosen kernel variant, so the rows are what the
+        wall clock really pays per pass (requires a tape-mode engine).
+        """
+        if level == "steps":
+            return self.engine.profile(x=x, repeats=repeats)
+        if level != "tape":
+            raise ValueError(f"level must be 'steps' or 'tape', got {level!r}")
+        engine = self.engine
+        if engine.mode != "tape":
+            raise ValueError("level='tape' requires a tape-mode engine "
+                             "(compile with runtime mode='tape')")
+        tape = engine._ensure_tape()
+        probe = np.zeros(engine.input_shape) if x is None else x
+        probe = engine._check_input(probe)
+        np.copyto(tape.input_buffer, probe)
+        timings = tape.profile(repeats=repeats)
+        total_s = sum(seconds for _, _, seconds in timings) or 1.0
+        steps = [StepTiming(name=name, op=kind, mean_ms=seconds * 1e3,
+                            share=seconds / total_s)
+                 for name, kind, seconds in timings]
+        return PlanProfile(graph_name=self.plan.graph_name,
+                           input_shape=tuple(engine.input_shape),
+                           repeats=repeats, steps=steps,
+                           total_ms=sum(t.mean_ms for t in steps))
 
     def runner(self, workers: int | None = None) -> BatchedRunner:
         """A batched serving runner over this deployment's engine.
@@ -240,22 +277,37 @@ class Deployment:
         return BatchedRunner(self.engine, workers=workers)
 
     def serve(self, serve: ServeConfig | None = None, *, compute_time_fn=None,
-              compile_config: CompileConfig | None = None):
+              compile_config: CompileConfig | None = None,
+              preload: "Sequence[Deployment]" = ()):
         """Stand up a :class:`~repro.serving.FleetServer` around this deployment.
 
         The fleet always contains this deployment's model (preloaded into
-        the plan cache, so it is never recompiled); ``serve.fleet`` adds
-        more registry models, compiled on demand with this deployment's
-        compile config (or ``compile_config`` when given).  When
-        ``serve.artifact_dir`` is set the cache gains a disk tier: plans
-        are loaded from / saved to content-addressed artifacts.
+        the plan cache, so it is never recompiled); ``preload`` seeds
+        *additional* already-compiled deployments the same way — a
+        multi-model fleet can come up with zero mid-stream compiles —
+        and ``serve.fleet`` adds registry models compiled on demand with
+        this deployment's compile config (or ``compile_config`` when
+        given).  When ``serve.artifact_dir`` is set the cache gains a disk
+        tier: plans are loaded from / saved to content-addressed artifacts.
         """
         from ..serving import AdmissionPolicy, BatchingPolicy, FleetServer
 
         serve = serve if serve is not None else ServeConfig()
-        fleet = [self.model] + [m for m in serve.fleet if m != self.model]
+        preload = list(preload)
         batch_size = self.config.runtime.batch_size
         max_batch = serve.max_batch if serve.max_batch is not None else batch_size
+        fleet = [self.model]
+        for deployment in preload:
+            if deployment.model in fleet:
+                raise ValueError(f"duplicate preloaded deployment for "
+                                 f"{deployment.model!r}")
+            if deployment.batch_size < max_batch:
+                raise ValueError(
+                    f"preloaded deployment {deployment.model!r} is bound to "
+                    f"batch_size {deployment.batch_size}, below the serving "
+                    f"max_batch {max_batch}")
+            fleet.append(deployment.model)
+        fleet += [m for m in serve.fleet if m not in fleet]
         policy = (BatchingPolicy.full_batch(max_batch) if serve.max_wait_s is None
                   else BatchingPolicy.dynamic(max_batch, serve.max_wait_s))
         server = FleetServer(
@@ -263,7 +315,8 @@ class Deployment:
             batch_size=batch_size,
             policy=policy,
             admission=AdmissionPolicy(max_queue_depth=serve.max_queue_depth,
-                                      slo_shed=serve.slo_shed),
+                                      slo_shed=serve.slo_shed,
+                                      priority_shed=serve.priority_shed),
             cache_capacity=serve.cache_capacity,
             compile_config=compile_config if compile_config is not None else self.config,
             compute_time_fn=compute_time_fn,
@@ -273,8 +326,11 @@ class Deployment:
             artifact_dir=serve.artifact_dir,
             disk_max_bytes=serve.disk_max_bytes,
             execution=serve.execution,
+            backend=serve.backend,
         )
         server.cache.put(self.model, self)
+        for deployment in preload:
+            server.cache.put(deployment.model, deployment)
         if serve.warm:
             server.warm_up()
         return server

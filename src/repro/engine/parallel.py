@@ -33,7 +33,28 @@ import numpy as np
 
 from .plan import CompiledEngine, EngineOutput, ExecutionPlan
 
-__all__ = ["ShardedRunner", "BranchParallelEngine"]
+__all__ = ["ShardedRunner", "BranchParallelEngine", "bootstrap_process_engines"]
+
+
+def bootstrap_process_engines(artifact_paths: dict[str, str]
+                              ) -> dict[str, CompiledEngine]:
+    """Load per-process engines from ``.rpa`` plan artifacts.
+
+    The worker-process half of the serving fleet's process backend
+    (:class:`repro.serving.procfleet.ProcessFleetBackend`): each spawned
+    worker calls this once to warm its private engines from the disk tier.
+    Loading an artifact performs zero re-lowering, re-optimization and
+    re-profiling (prepacked weights and cached autotune choices ride in the
+    payload), so worker start-up cost is the buffer bind plus the tape
+    compile — and the engines are bit-exact with the parent's.
+    """
+    from ..deploy.deployment import Deployment
+
+    engines: dict[str, CompiledEngine] = {}
+    for name, path in artifact_paths.items():
+        deployment = Deployment.load(path)
+        engines[name] = deployment.engine
+    return engines
 
 
 def _unwrap_plan(plan) -> ExecutionPlan:

@@ -8,18 +8,23 @@ a bounded LRU plan cache with compile-on-demand (through
 ``repro.deploy.compile``), recompile accounting and an optional disk-backed
 artifact tier, multi-worker dispatch (``workers=N`` overlaps different
 models' batches), SLO-aware admission control backed by an EWMA cost model,
-workload generators (Poisson, bursty, diurnal, heavy-tailed) and
-first-class serving metrics — all on the same virtual clock as
-``repro.engine.BatchedRunner``.
+workload generators (Poisson, bursty, diurnal, heavy-tailed) with open- and
+closed-loop pacers, priority-class admission (lowest tier preempted first),
+a multiprocess fleet backend (``backend="process"`` — per-process tape
+engines behind shared-memory arenas) and first-class serving metrics — all
+on the same virtual clock as ``repro.engine.BatchedRunner``.
 """
 
 from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
 from .cache import PlanCache
 from .metrics import MetricsCollector, ModelStats, percentiles_ms
+from .procfleet import ProcessFleetBackend
 from .server import FleetReport, FleetServer, ServedRequest
 from .workload import (
     SCENARIOS,
+    ClosedLoopPacer,
+    OpenLoopPacer,
     Request,
     Scenario,
     bursty_arrivals,
@@ -41,10 +46,13 @@ __all__ = [
     "MetricsCollector",
     "ModelStats",
     "percentiles_ms",
+    "ProcessFleetBackend",
     "FleetReport",
     "FleetServer",
     "ServedRequest",
     "SCENARIOS",
+    "ClosedLoopPacer",
+    "OpenLoopPacer",
     "Request",
     "Scenario",
     "bursty_arrivals",

@@ -12,6 +12,14 @@ explicit, measurable reject rate.  Two gates run at arrival time:
   model** of measured batch compute time, the policy's batch-formation
   timeout, and the request's own batch cost.
 
+Both gates are **priority-aware** (``AdmissionPolicy.priority_shed``): when a
+gate would shed an arrival, queued requests of strictly *lower* priority on
+the same model are preempted first (lowest tier, youngest first) — shedding
+under pressure always lands on the lowest tier present, and a batch of equal
+priorities degrades to plain FIFO admission.  Preemption victims surface on
+:attr:`AdmissionDecision.evicted`; the server records them as shed with
+reason ``"preempted"``.
+
 The prediction is deliberately a cheap heuristic (it prices partial batches
 at full-batch EWMA cost and assumes FIFO service); its job is to keep the
 shed decision monotone in load, not to be a simulator.
@@ -68,6 +76,9 @@ class AdmissionPolicy:
 
     max_queue_depth: int | None = 128
     slo_shed: bool = True
+    #: preempt queued strictly-lower-priority requests before shedding an
+    #: arrival (a no-op while every request carries the same priority)
+    priority_shed: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue_depth is not None and self.max_queue_depth < 1:
@@ -81,6 +92,9 @@ class AdmissionDecision:
     admitted: bool
     reason: str | None = None           # "queue_full" | "slo" when shed
     predicted_latency_s: float | None = None
+    #: queued lower-priority requests preempted to make room; the caller
+    #: must remove them from their queue and record them as shed
+    evicted: tuple[Request, ...] = ()
 
 
 class AdmissionController:
@@ -92,13 +106,20 @@ class AdmissionController:
 
     def predicted_latency_s(self, request: Request, now: float, worker_free: float,
                             queues: dict[str, DynamicBatcher],
-                            batching: BatchingPolicy) -> float:
-        """Predicted completion latency if the request were admitted now."""
+                            batching: BatchingPolicy,
+                            depth_adjust: dict[str, int] | None = None) -> float:
+        """Predicted completion latency if the request were admitted now.
+
+        ``depth_adjust`` subtracts hypothetically evicted requests from a
+        model's queue depth, so preemption can re-price the backlog without
+        mutating the queue.
+        """
         residual = max(0.0, worker_free - now)
         backlog = 0.0
         for model, queue in queues.items():
-            if queue.depth:
-                batches_ahead = math.ceil(queue.depth / batching.max_batch)
+            depth = queue.depth - (depth_adjust or {}).get(model, 0)
+            if depth > 0:
+                batches_ahead = math.ceil(depth / batching.max_batch)
                 backlog += batches_ahead * self.cost_model.estimate(model)
         formation = batching.max_wait_s if batching.max_wait_s is not None else 0.0
         return residual + backlog + formation + self.cost_model.estimate(request.model)
@@ -108,12 +129,34 @@ class AdmissionController:
                  batching: BatchingPolicy) -> AdmissionDecision:
         policy = self.policy
         queue = queues[request.model]
-        if policy.max_queue_depth is not None and queue.depth >= policy.max_queue_depth:
-            return AdmissionDecision(False, reason="queue_full")
+        evicted: list[Request] = []
+
+        def depth() -> int:
+            return queue.depth - len(evicted)
+
+        def preempt_one() -> bool:
+            if not policy.priority_shed:
+                return False
+            victim = queue.shed_candidate(request.priority, exclude=evicted)
+            if victim is None:
+                return False
+            evicted.append(victim)
+            return True
+
+        if policy.max_queue_depth is not None and depth() >= policy.max_queue_depth:
+            if not preempt_one() or depth() >= policy.max_queue_depth:
+                return AdmissionDecision(False, reason="queue_full")
         if policy.slo_shed and request.deadline_s is not None:
-            predicted = self.predicted_latency_s(request, now, worker_free, queues, batching)
-            if predicted > request.deadline_s:
-                return AdmissionDecision(False, reason="slo",
-                                         predicted_latency_s=predicted)
-            return AdmissionDecision(True, predicted_latency_s=predicted)
-        return AdmissionDecision(True)
+            while True:
+                predicted = self.predicted_latency_s(
+                    request, now, worker_free, queues, batching,
+                    depth_adjust={request.model: len(evicted)})
+                if predicted <= request.deadline_s:
+                    return AdmissionDecision(True, predicted_latency_s=predicted,
+                                             evicted=tuple(evicted))
+                if not preempt_one():
+                    # Shedding the arrival itself: no preemption happens, so
+                    # the queue is left exactly as found.
+                    return AdmissionDecision(False, reason="slo",
+                                             predicted_latency_s=predicted)
+        return AdmissionDecision(True, evicted=tuple(evicted))

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 from .workload import Request
 
@@ -117,3 +118,35 @@ class DynamicBatcher:
         """Dequeue up to ``max_batch`` requests in arrival order."""
         take = min(self.policy.max_batch, len(self._queue))
         return [self._queue.popleft() for _ in range(take)]
+
+    # ------------------------------------------------------------------ #
+    # Priority preemption (see AdmissionController)
+    # ------------------------------------------------------------------ #
+    def shed_candidate(self, below_priority: int,
+                       exclude: Sequence[Request] = ()) -> Request | None:
+        """The queued request to preempt for an arrival of ``below_priority``.
+
+        Lowest tier first; within a tier the *youngest* request goes (it has
+        waited least, so evicting it wastes the least queueing investment).
+        Only strictly lower priorities are candidates — equal-priority
+        requests are never preempted, so FIFO fairness holds within a class.
+        """
+        candidate: Request | None = None
+        excluded = {id(req) for req in exclude}
+        for req in self._queue:
+            if req.priority >= below_priority or id(req) in excluded:
+                continue
+            if (candidate is None or req.priority < candidate.priority
+                    or (req.priority == candidate.priority
+                        and req.arrival_s >= candidate.arrival_s)):
+                candidate = req
+        return candidate
+
+    def remove(self, request: Request) -> None:
+        """Drop one queued request (a preemption victim) by identity."""
+        for index, queued in enumerate(self._queue):
+            if queued is request:
+                del self._queue[index]
+                return
+        raise ValueError(f"request {request.request_id} is not queued on "
+                         f"the {self.model!r} queue")

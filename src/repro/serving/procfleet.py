@@ -1,0 +1,276 @@
+"""Process-level fleet scale-out: per-process tape engines + shared memory.
+
+The thread backend's dispatch workers overlap only where NumPy releases the
+GIL; the pure-Python tape dispatch (instruction decode, fused-chain calls,
+requantize bookkeeping) serializes.  :class:`ProcessFleetBackend` removes
+that ceiling: each dispatch worker proxies its batch claims to a dedicated
+**worker process** hosting its own per-process engines, so N workers run N
+tape interpreters truly concurrently.
+
+Design points:
+
+* **Engine bootstrap from the disk tier.**  Workers never pickle an engine —
+  they load ``.rpa`` plan artifacts (prepacked weights, cached autotune
+  choices) via :func:`repro.engine.parallel.bootstrap_process_engines`, the
+  same zero-re-lowering path a warm restart takes.  The parent exports
+  artifacts from its :class:`~repro.serving.cache.PlanCache` disk tier (or a
+  temporary directory when no tier is configured).
+* **Shared-memory data plane.**  Request images travel parent→worker and
+  output codes worker→parent through per-worker
+  ``multiprocessing.shared_memory`` arenas sized once for the largest
+  fleet batch; only tiny control messages (model name, group fills, dtype)
+  cross the task/result queues.  Codes are staged as int64 in the arena and
+  cast back to the engine's exact dtype on receipt, which is lossless, so
+  outputs stay bit-identical to in-process execution.
+* **Spawn context by default.**  ``fork`` would duplicate the parent's BLAS
+  state and compiled engines into every worker; ``spawn`` keeps workers
+  minimal and portable (and is the only start method on some platforms).
+
+The backend is deliberately synchronous per worker — ``run(worker_index,
+...)`` blocks until that worker's result returns — because the
+:class:`~repro.serving.server.FleetServer` already runs one dispatch thread
+per worker; those threads spend their time blocked on the result queue, not
+holding the GIL.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ProcessFleetBackend"]
+
+#: bytes per staged element — images stage as float64, codes as int64
+_ITEMSIZE = 8
+
+
+def _worker_main(worker_index: int, artifact_paths: dict[str, str],
+                 specs: dict[str, dict], in_name: str, out_name: str,
+                 task_queue, result_queue) -> None:
+    """Worker-process entry point: bootstrap engines, then serve tasks.
+
+    Protocol (task queue): ``("run", task_id, model, fills)`` — the parent
+    has written ``sum(fills)`` concatenated images into the input arena;
+    execute them as megabatch groups, write the concatenated codes into the
+    output arena, reply ``("done", task_id, elapsed_s, executions, dtype,
+    shape)``.  ``("stop",)`` exits.  Any failure replies ``("error",
+    task_id_or_None, message)``; bootstrap failures carry ``task_id=None``.
+    """
+    from multiprocessing import shared_memory
+
+    from ..engine.parallel import bootstrap_process_engines
+    from ..engine.runner import run_partial_groups
+
+    try:
+        # Attaching registers the segments with the resource tracker again;
+        # spawn children share the parent's tracker process, where register
+        # is idempotent, and only the parent (the single owner) ever calls
+        # unlink — so no child-side unregister dance is needed.
+        in_shm = shared_memory.SharedMemory(name=in_name)
+        out_shm = shared_memory.SharedMemory(name=out_name)
+        engines = bootstrap_process_engines(artifact_paths)
+        result_queue.put(("ready", worker_index, sorted(engines)))
+    except BaseException as exc:  # noqa: BLE001 - must cross the process edge
+        result_queue.put(("error", None, f"worker {worker_index} bootstrap "
+                                         f"failed: {exc!r}"))
+        return
+    try:
+        while True:
+            message = task_queue.get()
+            if message[0] == "stop":
+                return
+            _, task_id, model, fills = message
+            try:
+                engine = engines[model]
+                sample_shape = tuple(specs[model]["input_shape"][1:])
+                total = int(sum(fills))
+                staged = np.ndarray((total, *sample_shape), dtype=np.float64,
+                                    buffer=in_shm.buf)
+                groups, offset = [], 0
+                for fill in fills:
+                    groups.append(staged[offset:offset + fill])
+                    offset += fill
+                start = time.perf_counter()
+                outputs, executions = run_partial_groups(engine, groups)
+                elapsed = time.perf_counter() - start
+                codes = np.concatenate(
+                    [out.codes[:fill] for out, fill in zip(outputs, fills)],
+                    axis=0)
+                out_view = np.ndarray(codes.shape, dtype=np.int64,
+                                      buffer=out_shm.buf)
+                out_view[:] = codes  # int32 -> int64 widening is lossless
+                result_queue.put(("done", task_id, elapsed, executions,
+                                  str(codes.dtype), tuple(codes.shape)))
+            except BaseException as exc:  # noqa: BLE001
+                result_queue.put(("error", task_id,
+                                  f"worker {worker_index} task {task_id} on "
+                                  f"{model!r} failed: {exc!r}"))
+    finally:
+        in_shm.close()
+        out_shm.close()
+
+
+class ProcessFleetBackend:
+    """N worker processes hosting per-process engines behind shared memory.
+
+    ``specs`` maps each model to its parent-engine geometry
+    (``{"input_shape": (B, C, H, W), "output_shape": (B, K)}``); arena sizes
+    are the max over the fleet, so one pair of arenas per worker serves
+    every model.  ``artifact_paths`` maps each model to the ``.rpa`` plan
+    artifact its per-process engine bootstraps from.
+    """
+
+    def __init__(self, specs: dict[str, dict], artifact_paths: dict[str, str],
+                 *, workers: int, mp_context: str = "spawn",
+                 start_timeout_s: float = 120.0) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        missing = sorted(set(specs) - set(artifact_paths))
+        if missing:
+            raise ValueError(f"no artifact path for models {missing}")
+        self.specs = {name: dict(spec) for name, spec in specs.items()}
+        self.artifact_paths = dict(artifact_paths)
+        self.workers = int(workers)
+        self.start_timeout_s = float(start_timeout_s)
+        self._ctx = mp.get_context(mp_context)
+        self._in_bytes = max(
+            int(np.prod(spec["input_shape"])) * _ITEMSIZE
+            for spec in self.specs.values())
+        self._out_bytes = max(
+            int(np.prod(spec["output_shape"])) * _ITEMSIZE
+            for spec in self.specs.values())
+        self._in_shms: list = []
+        self._out_shms: list = []
+        self._task_queues: list = []
+        self._result_queues: list = []
+        self._processes: list = []
+        self._task_counter = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the workers and block until every engine set is warm."""
+        if self._started:
+            raise RuntimeError("backend already started")
+        from multiprocessing import shared_memory
+        try:
+            for index in range(self.workers):
+                in_shm = shared_memory.SharedMemory(create=True,
+                                                    size=self._in_bytes)
+                out_shm = shared_memory.SharedMemory(create=True,
+                                                     size=self._out_bytes)
+                self._in_shms.append(in_shm)
+                self._out_shms.append(out_shm)
+                task_queue = self._ctx.Queue()
+                result_queue = self._ctx.Queue()
+                self._task_queues.append(task_queue)
+                self._result_queues.append(result_queue)
+                process = self._ctx.Process(
+                    target=_worker_main,
+                    args=(index, self.artifact_paths, self.specs,
+                          in_shm.name, out_shm.name, task_queue, result_queue),
+                    name=f"fleet-worker-{index}", daemon=True)
+                process.start()
+                self._processes.append(process)
+            for index in range(self.workers):
+                message = self._result_queues[index].get(
+                    timeout=self.start_timeout_s)
+                if message[0] != "ready":
+                    raise RuntimeError(message[2])
+            self._started = True
+        except BaseException:
+            self.close()
+            raise
+
+    def __enter__(self) -> "ProcessFleetBackend":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def run(self, worker_index: int, model: str,
+            images: Sequence[np.ndarray]):
+        """Execute megabatch groups on one worker process.
+
+        ``images`` is a list of stacked per-batch arrays (``(fill, C, H,
+        W)`` each, total fill <= the engine batch size).  Returns
+        ``(codes_per_group, executions, elapsed_s)`` where each codes array
+        has exactly its group's fill rows and the engine's exact dtype —
+        bit-identical to in-process execution.  ``elapsed_s`` is the
+        worker-measured compute time (IPC excluded), which feeds the EWMA
+        cost model.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("backend is not running (call start())")
+        if not 0 <= worker_index < self.workers:
+            raise ValueError(f"worker_index must be in [0, {self.workers}), "
+                             f"got {worker_index}")
+        if model not in self.specs:
+            raise ValueError(f"unknown model {model!r}; "
+                             f"fleet: {sorted(self.specs)}")
+        fills = [int(np.asarray(group).shape[0]) for group in images]
+        flat = np.concatenate([np.asarray(group, dtype=np.float64)
+                               for group in images], axis=0)
+        if flat.nbytes > self._in_bytes:
+            raise ValueError(f"{flat.nbytes} bytes of images exceed the "
+                             f"{self._in_bytes}-byte input arena")
+        staged = np.ndarray(flat.shape, dtype=np.float64,
+                            buffer=self._in_shms[worker_index].buf)
+        staged[:] = flat
+        task_id = self._task_counter
+        self._task_counter += 1
+        self._task_queues[worker_index].put(("run", task_id, model, fills))
+        message = self._result_queues[worker_index].get()
+        if message[0] == "error":
+            raise RuntimeError(message[2])
+        _, done_id, elapsed, executions, dtype, shape = message
+        if done_id != task_id:
+            raise RuntimeError(f"worker {worker_index} answered task "
+                               f"{done_id}, expected {task_id}")
+        staged_out = np.ndarray(shape, dtype=np.int64,
+                                buffer=self._out_shms[worker_index].buf)
+        codes = staged_out.astype(np.dtype(dtype))  # exact narrowing cast
+        group_codes, offset = [], 0
+        for fill in fills:
+            group_codes.append(codes[offset:offset + fill])
+            offset += fill
+        return group_codes, int(executions), float(elapsed)
+
+    # ------------------------------------------------------------------ #
+    def close(self, join_timeout_s: float = 10.0) -> None:
+        """Stop the workers and release the arenas (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue, process in zip(self._task_queues, self._processes):
+            if process.is_alive():
+                try:
+                    task_queue.put(("stop",))
+                except (OSError, ValueError):
+                    pass
+        for process in self._processes:
+            process.join(timeout=join_timeout_s)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=join_timeout_s)
+        for queue in (*self._task_queues, *self._result_queues):
+            queue.close()
+            queue.join_thread()
+        for shm in (*self._in_shms, *self._out_shms):
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._in_shms.clear()
+        self._out_shms.clear()
+        self._task_queues.clear()
+        self._result_queues.clear()
+        self._processes.clear()

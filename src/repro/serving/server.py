@@ -29,6 +29,18 @@ Two orthogonal concurrency knobs:
   split across M per-shard engines on a thread pool (BLAS releases the
   GIL).  Output codes are identical either way.
 
+Real execution picks its **backend**: ``backend="thread"`` (default) drives
+the dispatch workers as a thread pool in-process; ``backend="process"``
+scales out to N worker *processes* (see
+:class:`~repro.serving.procfleet.ProcessFleetBackend`), each hosting
+per-process tape engines warmed from ``.rpa`` artifacts, with request
+images and output codes moving through ``multiprocessing.shared_memory``
+arenas — the pure-int64 kernel lane stops being GIL-bound.  Real execution
+also picks its **pacing**: ``"flood"`` (deterministic ingestion, then
+drain), ``"open"`` (arrival-paced releases independent of completions) or
+``"closed"`` (completion-gated releases); see
+:mod:`repro.serving.workload`.
+
 The discrete-event loop interleaves two event kinds in time order: request
 arrivals (admission + enqueue) and batch launches (earliest ready queue,
 ties broken by oldest queued request then model name).  Arrivals at or
@@ -38,9 +50,11 @@ before a launch instant are ingested first so they can join the batch.
 from __future__ import annotations
 
 import math
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -55,7 +69,7 @@ from .admission import AdmissionController, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
 from .cache import PlanCache
 from .metrics import MetricsCollector
-from .workload import Request, fleet_input_shapes
+from .workload import ClosedLoopPacer, OpenLoopPacer, Request, fleet_input_shapes
 
 __all__ = ["ServedRequest", "FleetReport", "FleetServer"]
 
@@ -69,10 +83,14 @@ class ServedRequest:
     status: str                          # "completed" | "shed"
     latency_s: float | None = None
     codes: np.ndarray | None = None
-    shed_reason: str | None = None
+    shed_reason: str | None = None       # "queue_full" | "slo" | "preempted"
     batch_index: int | None = None
     batch_fill: int | None = None
     worker_index: int | None = None      # dispatch worker that ran the batch
+    priority: int = 0
+    #: wall-clock offset (s from serve start) the request was offered at —
+    #: set by paced real serving, ``None`` on the virtual clock and floods
+    release_s: float | None = None
 
     @property
     def completed(self) -> bool:
@@ -91,6 +109,8 @@ class FleetReport:
     wall_time_s: float = 0.0
     workers: int = 1
     execution: str = "virtual"
+    backend: str = "event-loop"          # "event-loop" | "thread" | "process"
+    pacing: str = "virtual"              # "virtual" | "flood" | "open" | "closed"
 
     @property
     def fleet(self) -> dict:
@@ -113,6 +133,8 @@ class FleetReport:
             "policy": self.policy,
             "workers": self.workers,
             "execution": self.execution,
+            "backend": self.backend,
+            "pacing": self.pacing,
             "metrics": self.metrics,
             "cache": self.cache,
             "cost_model_s": self.cost_model_s,
@@ -137,6 +159,8 @@ class FleetServer:
                  workers: int = 1,
                  shard_workers: int = 1,
                  execution: str = "virtual",
+                 backend: str = "thread",
+                 mp_context: str = "spawn",
                  disk_max_bytes: int | None = None) -> None:
         fleet = list(fleet)
         if not fleet:
@@ -166,7 +190,15 @@ class FleetServer:
         if execution not in ("virtual", "real"):
             raise ValueError(f"execution must be 'virtual' or 'real', "
                              f"got {execution!r}")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', "
+                             f"got {backend!r}")
+        if backend == "process" and execution != "real":
+            raise ValueError("backend='process' requires execution='real' "
+                             "(the virtual clock runs in-process)")
         self.execution = execution
+        self.backend = backend
+        self.mp_context = mp_context
         self.cache = PlanCache(
             cache_capacity if cache_capacity is not None else len(fleet),
             compile_fn=lambda name: deploy_compile(name, config),
@@ -182,6 +214,9 @@ class FleetServer:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if shard_workers < 1:
             raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
+        if backend == "process" and shard_workers > 1:
+            raise ValueError("backend='process' already parallelizes across "
+                             "processes; shard_workers must be 1")
         self.workers = int(workers)
         self.shard_workers = int(shard_workers)
         #: per-model sharded executors; a PlanCache recompile produces a new
@@ -247,14 +282,28 @@ class FleetServer:
         return shapes
 
     # ------------------------------------------------------------------ #
-    def serve(self, requests: Sequence[Request]) -> FleetReport:
+    def serve(self, requests: Sequence[Request], *,
+              pacing: object = None,
+              time_scale: float = 1.0,
+              closed_concurrency: int | None = None) -> FleetReport:
         """Serve a request stream.
 
         ``execution="virtual"`` (default) runs the discrete-event loop on
         the virtual clock; ``execution="real"`` drives the dispatch workers
-        as an actual thread pool over per-model tape engines and reports
-        measured wall-clock throughput/latency (see :meth:`_serve_real`).
-        Output codes per request are bit-identical between the two modes.
+        as an actual thread pool (``backend="thread"``) or worker-process
+        fleet (``backend="process"``) over per-model tape engines and
+        reports measured wall-clock throughput/latency (see
+        :meth:`_serve_real`).  Output codes per request are bit-identical
+        across all modes.
+
+        ``pacing`` selects how real execution offers the stream to the
+        server: ``"flood"`` (default — deterministic ingestion, then
+        concurrent drain), ``"open"`` (arrival-paced on the wall clock,
+        independent of completions), ``"closed"`` (completion-gated, at
+        most ``closed_concurrency`` in flight), or an explicit pacer
+        instance from :mod:`repro.serving.workload`.  ``time_scale``
+        stretches the scenario clock for open-loop pacing.  The virtual
+        loop is open-loop by construction and accepts only flood pacing.
         """
         reqs = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         seen_ids: set[int] = set()
@@ -268,9 +317,31 @@ class FleetServer:
                 raise ValueError(f"duplicate request_id {req.request_id}; outcomes are "
                                  f"keyed by id, so ids must be unique per stream")
             seen_ids.add(req.request_id)
+        pacer, pacing_name = self._make_pacer(reqs, pacing, time_scale,
+                                              closed_concurrency)
         if self.execution == "real":
-            return self._serve_real(reqs)
+            return self._serve_real(reqs, pacer=pacer, pacing_name=pacing_name)
+        if pacer is not None:
+            raise ValueError(f"pacing={pacing_name!r} requires execution='real'; "
+                             f"the virtual discrete-event loop paces arrivals "
+                             f"on its own clock (open-loop by construction)")
         return self._serve_virtual(reqs)
+
+    def _make_pacer(self, reqs: list[Request], pacing, time_scale: float,
+                    closed_concurrency: int | None):
+        """Resolve the ``pacing`` argument into (pacer, name)."""
+        if pacing is None or pacing == "flood":
+            return None, "flood"
+        if isinstance(pacing, str):
+            if pacing == "open":
+                return OpenLoopPacer(reqs, time_scale=time_scale), "open"
+            if pacing == "closed":
+                concurrency = (closed_concurrency if closed_concurrency is not None
+                               else max(1, self.workers))
+                return ClosedLoopPacer(reqs, concurrency=concurrency), "closed"
+            raise ValueError(f"pacing must be 'flood', 'open', 'closed' or a "
+                             f"pacer instance, got {pacing!r}")
+        return pacing, getattr(pacing, "kind", "custom")
 
     def _serve_virtual(self, reqs: list[Request]) -> FleetReport:
         """The discrete-event loop over a pre-validated, sorted stream."""
@@ -320,12 +391,19 @@ class FleetServer:
                                                    earliest_start,
                                                    queues, self.policy)
                 if decision.admitted:
+                    for victim in decision.evicted:
+                        queues[victim.model].remove(victim)
+                        metrics.record_shed(victim.model, "preempted")
+                        outcomes[victim.request_id] = ServedRequest(
+                            request_id=victim.request_id, model=victim.model,
+                            status="shed", shed_reason="preempted",
+                            priority=victim.priority)
                     queues[req.model].push(req)
                 else:
                     metrics.record_shed(req.model, decision.reason)
                     outcomes[req.request_id] = ServedRequest(
                         request_id=req.request_id, model=req.model, status="shed",
-                        shed_reason=decision.reason)
+                        shed_reason=decision.reason, priority=req.priority)
                 metrics.record_queue_depth(req.arrival_s,
                                            sum(q.depth for q in queues.values()))
                 continue
@@ -357,7 +435,7 @@ class FleetServer:
                     request_id=req.request_id, model=model, status="completed",
                     latency_s=latency, codes=output.codes[offset].copy(),
                     batch_index=batch_index, batch_fill=fill,
-                    worker_index=worker_index)
+                    worker_index=worker_index, priority=req.priority)
             # Padding is relative to the engine's bound batch shape: even a
             # "full" policy batch below batch_size pays padded compute rows.
             metrics.record_batch(model, fill, self.batch_size, compute)
@@ -377,74 +455,139 @@ class FleetServer:
         )
 
     # ------------------------------------------------------------------ #
-    def _serve_real(self, reqs: list[Request]) -> FleetReport:
-        """Wall-clock serving: N dispatch workers on a real thread pool.
+    def _export_artifacts(self, models: list[str]):
+        """Persist ``.rpa`` artifacts for worker processes to warm from.
 
-        Ingestion is a deterministic single-threaded pass — every request
-        runs through admission control (using real queue depths and the
-        EWMA cost model) and lands in its model's queue before any worker
-        starts, so the set of shed requests and every output code are
-        reproducible run to run.  The dispatch workers then drain the
-        queues concurrently: each worker claims the deepest idle model's
-        queue, pops up to ``max_batch`` requests (packing **several** policy
-        batches into one tape execution when the backlog allows — megabatch
-        coalescing), and runs the model's engine outside the scheduler lock.
-        NumPy's BLAS releases the GIL, so different models' batches overlap
-        on real cores; each model serializes on its own engine, matching the
-        virtual mode's one-engine-per-model semantics.
+        With a disk tier configured the cache's content-addressed paths are
+        reused (and populated if missing); otherwise artifacts go to a
+        temporary directory that lives as long as the returned handle.
+        """
+        paths: dict[str, str] = {}
+        tmpdir: tempfile.TemporaryDirectory | None = None
+        for name in models:
+            compiled = self.cache.get(name)
+            path = self.cache.artifact_path(name)
+            if path is None:
+                if tmpdir is None:
+                    tmpdir = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+                path = Path(tmpdir.name) / f"{name}.rpa"
+            if not Path(path).exists():
+                compiled.save(path)
+            paths[name] = str(path)
+        return paths, tmpdir
 
-        Latency is measured wall time from serve start (the stream is
-        offered as a flood: scenario arrival offsets shape admission order
-        and the offered-rps metric, not the wall clock), and throughput is
-        completed requests over the measured makespan.  Batch composition
-        under thread scheduling is nondeterministic, but every plan op is
-        per-sample independent, so per-request output codes are not.
+    def _serve_real(self, reqs: list[Request], pacer=None,
+                    pacing_name: str = "flood") -> FleetReport:
+        """Wall-clock serving: N dispatch workers draining real queues.
+
+        **Ingestion.** Flood pacing (default) is a deterministic
+        single-threaded pass — every request runs through admission control
+        (using real queue depths and the EWMA cost model) and lands in its
+        model's queue before any worker starts, so the set of shed requests
+        and every output code are reproducible run to run.  Open/closed
+        pacing instead releases requests on the wall clock from a dedicated
+        ingestion thread (see :mod:`repro.serving.workload`); admission then
+        sees genuinely time-varying queue depths, and latency is measured
+        from each request's release instant.
+
+        **Drain.** The dispatch workers drain the queues concurrently: each
+        worker claims the deepest idle model's queue, pops up to
+        ``max_batch`` requests (packing **several** policy batches into one
+        tape execution when the backlog allows — megabatch coalescing), and
+        runs the model's engine outside the scheduler lock.  With
+        ``backend="thread"`` NumPy's BLAS releases the GIL, so different
+        models' batches overlap on real cores; with ``backend="process"``
+        each dispatch worker proxies its claims to a dedicated worker
+        *process* hosting its own tape engines (images and codes cross via
+        shared memory), so even the pure-Python tape dispatch overlaps.
+        Each model serializes on its own engine either way, matching the
+        virtual mode's one-engine-per-model semantics.  Batch composition
+        under thread/process scheduling is nondeterministic, but every plan
+        op is per-sample independent, so per-request output codes are not.
         """
         wall_start = time.perf_counter()
         metrics = MetricsCollector(self.fleet)
         outcomes: dict[int, ServedRequest] = {}
         queues = {m: DynamicBatcher(m, self.policy) for m in self.fleet}
 
-        # Deterministic admission pass (flood ingestion).
-        for req in reqs:
+        lock = threading.Lock()
+        work_ready = threading.Condition(lock)
+        model_busy = {m: False for m in self.fleet}
+        state = {"remaining": 0, "batch_index": 0, "ingesting": pacer is not None}
+        release: dict[int, float] = {}
+        failures: list[BaseException] = []
+
+        def admit(req: Request, now: float, depth_t: float,
+                  signal: list[int]) -> None:
+            """One admission decision under the scheduler lock.
+
+            Shed/preempted request ids are appended to ``signal`` so the
+            caller can notify the pacer *after* releasing the lock.
+            """
             metrics.record_arrival(req.model, req.arrival_s)
-            decision = self.admission.consider(req, req.arrival_s, req.arrival_s,
-                                               queues, self.policy)
+            decision = self.admission.consider(req, now, now, queues, self.policy)
             if decision.admitted:
+                for victim in decision.evicted:
+                    queues[victim.model].remove(victim)
+                    state["remaining"] -= 1
+                    metrics.record_shed(victim.model, "preempted")
+                    outcomes[victim.request_id] = ServedRequest(
+                        request_id=victim.request_id, model=victim.model,
+                        status="shed", shed_reason="preempted",
+                        priority=victim.priority,
+                        release_s=release.get(victim.request_id))
+                    signal.append(victim.request_id)
                 queues[req.model].push(req)
+                state["remaining"] += 1
             else:
                 metrics.record_shed(req.model, decision.reason)
                 outcomes[req.request_id] = ServedRequest(
                     request_id=req.request_id, model=req.model, status="shed",
-                    shed_reason=decision.reason)
-            # Ingestion happens before the wall clock starts; stamping the
-            # samples at t=0 keeps the depth timeline on one (wall) clock.
-            metrics.record_queue_depth(0.0, sum(q.depth for q in queues.values()))
+                    shed_reason=decision.reason, priority=req.priority,
+                    release_s=release.get(req.request_id))
+                signal.append(req.request_id)
+            metrics.record_queue_depth(depth_t,
+                                       sum(q.depth for q in queues.values()))
 
-        # Pin the admitted models' engines resident for the drain (the LRU
-        # cache is not touched from worker threads).
+        if pacer is None:
+            # Deterministic admission pass (flood ingestion).  Ingestion
+            # happens before the wall clock starts; stamping the depth
+            # samples at t=0 keeps the timeline on one (wall) clock.
+            for req in reqs:
+                admit(req, req.arrival_s, 0.0, [])
+
+        # Pin every requested model's engine resident before the drain (the
+        # LRU cache is not touched from worker threads; paced arrivals may
+        # target any model at any time).
+        needed = sorted({r.model for r in reqs})
         engines = {}
-        for model in self.fleet:
-            if queues[model].depth:
-                compiled = self.cache.get(model)
-                engines[model] = self._engine(model, compiled)
+        for model in needed:
+            compiled = self.cache.get(model)
+            engines[model] = self._engine(model, compiled)
 
-        lock = threading.Lock()
-        work_ready = threading.Condition(lock)
-        model_busy = {m: False for m in self.fleet}
-        state = {"remaining": sum(q.depth for q in queues.values()),
-                 "batch_index": 0}
-        serve_start = time.perf_counter()
+        proc_backend = None
+        tmpdir = None
+        if self.backend == "process":
+            from .procfleet import ProcessFleetBackend
+            artifact_paths, tmpdir = self._export_artifacts(needed)
+            specs = {m: {"input_shape": tuple(engines[m].input_shape),
+                         "output_shape": tuple(engines[m].output_shape)}
+                     for m in needed}
+            proc_backend = ProcessFleetBackend(
+                specs, artifact_paths, workers=self.workers,
+                mp_context=self.mp_context)
+            proc_backend.start()
 
         def pop_work():
             """Claim the deepest idle queue; returns (model, policy batches).
 
             Under the full-batch policy a short queue is a final partial
-            batch (the flood has fully arrived), so it flushes rather than
-            waits — matching the virtual loop's end-of-stream semantics.
+            batch (the stream has drained or a timeout fires), so it
+            flushes rather than waits — matching the virtual loop's
+            end-of-stream semantics.
             """
             best_model = None
-            for model in self.fleet:
+            for model in needed:
                 queue = queues[model]
                 if model_busy[model] or not queue.depth:
                     continue
@@ -466,25 +609,31 @@ class FleetServer:
             state["remaining"] -= total
             return best_model, groups
 
-        failures: list[BaseException] = []
+        def execute(worker_index: int, model: str, images: list[np.ndarray]):
+            """Run megabatch groups; returns (per-group codes, passes, seconds)."""
+            if proc_backend is not None:
+                return proc_backend.run(worker_index, model, images)
+            start = time.perf_counter()
+            group_outputs, executions = run_partial_groups(engines[model], images)
+            elapsed = time.perf_counter() - start
+            return [out.codes for out in group_outputs], executions, elapsed
 
         def worker(worker_index: int) -> None:
             while True:
                 with work_ready:
                     claim = pop_work()
                     while claim is None:
-                        if state["remaining"] == 0 or failures:
+                        if failures or (state["remaining"] == 0
+                                        and not state["ingesting"]):
                             return
                         work_ready.wait()
                         claim = pop_work()
                 model, groups = claim
-                engine = engines[model]
                 try:
                     images = [np.stack([r.image for r in batch])
                               for batch in groups]
-                    start = time.perf_counter()
-                    group_outputs, executions = run_partial_groups(engine, images)
-                    elapsed = time.perf_counter() - start
+                    group_codes, executions, elapsed = execute(
+                        worker_index, model, images)
                 except BaseException as exc:
                     # A dead worker must not strand the fleet: surface the
                     # failure, release the model, and wake the others so
@@ -493,44 +642,85 @@ class FleetServer:
                         failures.append(exc)
                         model_busy[model] = False
                         work_ready.notify_all()
+                    if pacer is not None:
+                        pacer.abort()
                     return
                 finish_wall = time.perf_counter() - serve_start
+                done_ids: list[int] = []
                 with work_ready:
                     self.cost_model.observe(model, elapsed / max(1, executions))
                     per_batch_s = elapsed / len(groups)
                     if len(groups) > 1:
                         metrics.record_megabatch(model, len(groups))
-                    for batch, output in zip(groups, group_outputs):
+                    for batch, codes in zip(groups, group_codes):
                         batch_index = state["batch_index"]
                         state["batch_index"] += 1
                         fill = len(batch)
                         metrics.record_batch(model, fill, self.batch_size,
                                              per_batch_s)
                         for offset, req in enumerate(batch):
-                            latency = finish_wall
+                            latency = finish_wall - release.get(req.request_id, 0.0)
                             metrics.record_completion(model, latency,
                                                       req.deadline_s)
                             outcomes[req.request_id] = ServedRequest(
                                 request_id=req.request_id, model=model,
                                 status="completed", latency_s=latency,
-                                codes=output.codes[offset].copy(),
+                                codes=codes[offset].copy(),
                                 batch_index=batch_index, batch_fill=fill,
-                                worker_index=worker_index)
+                                worker_index=worker_index,
+                                priority=req.priority,
+                                release_s=release.get(req.request_id))
+                            done_ids.append(req.request_id)
                     metrics.record_queue_depth(
                         finish_wall, sum(q.depth for q in queues.values()))
                     model_busy[model] = False
                     work_ready.notify_all()
+                if pacer is not None:
+                    for request_id in done_ids:
+                        pacer.on_completion(request_id)
 
-        threads = [threading.Thread(target=worker, args=(i,),
-                                    name=f"fleet-dispatch-{i}", daemon=True)
-                   for i in range(self.workers)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if failures:
-            raise failures[0]
-        makespan = time.perf_counter() - serve_start
+        def ingest() -> None:
+            """Paced ingestion: release requests on the wall clock."""
+            try:
+                for req, now in pacer:
+                    signal: list[int] = []
+                    with work_ready:
+                        if failures:
+                            break
+                        release[req.request_id] = now
+                        admit(req, now, now, signal)
+                        work_ready.notify_all()
+                    for request_id in signal:
+                        pacer.on_completion(request_id)
+            finally:
+                with work_ready:
+                    state["ingesting"] = False
+                    work_ready.notify_all()
+
+        try:
+            serve_start = time.perf_counter()
+            ingest_thread = None
+            if pacer is not None:
+                ingest_thread = threading.Thread(target=ingest,
+                                                 name="fleet-ingest", daemon=True)
+                ingest_thread.start()
+            threads = [threading.Thread(target=worker, args=(i,),
+                                        name=f"fleet-dispatch-{i}", daemon=True)
+                       for i in range(self.workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if ingest_thread is not None:
+                ingest_thread.join()
+            if failures:
+                raise failures[0]
+            makespan = time.perf_counter() - serve_start
+        finally:
+            if proc_backend is not None:
+                proc_backend.close()
+            if tmpdir is not None:
+                tmpdir.cleanup()
 
         report = metrics.report(makespan_s=makespan, workers=self.workers,
                                 execution="real")
@@ -543,4 +733,6 @@ class FleetServer:
             wall_time_s=time.perf_counter() - wall_start,
             workers=self.workers,
             execution="real",
+            backend=self.backend,
+            pacing=pacing_name,
         )

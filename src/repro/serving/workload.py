@@ -17,11 +17,24 @@ fleet server's virtual clock from four arrival processes:
 
 Each :class:`Scenario` pairs an arrival process with a model mix and an SLO
 deadline; :data:`SCENARIOS` names the presets the serving benchmark sweeps.
+
+**Pacing** (real-execution serving): an arrival process fixes *when* requests
+exist; a pacer fixes when they are *offered* to the server on the wall clock.
+:class:`OpenLoopPacer` releases each request at its scenario offset no matter
+how far behind the server is — arrival timestamps are independent of
+completions, so sustained overload shows up as queue growth (the collapse a
+flood or closed loop hides).  :class:`ClosedLoopPacer` is the load-tester
+baseline: at most ``concurrency`` requests outstanding, the next release
+gated on a completion.  The virtual-clock discrete-event loop is open-loop by
+construction; these pacers bring the same semantics to ``execution="real"``.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -37,6 +50,8 @@ __all__ = [
     "heavy_tail_arrivals",
     "fleet_input_shapes",
     "generate_requests",
+    "OpenLoopPacer",
+    "ClosedLoopPacer",
 ]
 
 
@@ -47,6 +62,9 @@ class Request:
     ``deadline_s`` is the request's latency SLO (seconds from arrival);
     admission control sheds the request when its predicted completion would
     bust the deadline.  ``None`` disables SLO shedding for the request.
+    ``priority`` is the request's admission class — higher is more important;
+    under SLO pressure the controller sheds the lowest tier first (a queued
+    lower-priority request can be preempted to admit a higher one).
     """
 
     request_id: int
@@ -54,6 +72,7 @@ class Request:
     arrival_s: float
     image: np.ndarray
     deadline_s: float | None = None
+    priority: int = 0
 
 
 # ---------------------------------------------------------------------- #
@@ -147,6 +166,9 @@ class Scenario:
     model_mix: tuple[tuple[str, float], ...]   # (model name, weight) pairs
     slo_ms: float | None = 250.0
     params: dict = field(default_factory=dict)
+    #: optional (priority, weight) classes drawn i.i.d. per request; ``None``
+    #: leaves every request at the default priority 0
+    priority_mix: tuple[tuple[int, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.arrival not in _ARRIVALS:
@@ -221,10 +243,123 @@ def generate_requests(scenario: Scenario,
     weights = np.asarray([w for _, w in scenario.model_mix], dtype=np.float64)
     weights = weights / weights.sum()
     picks = rng.choice(len(names), size=times.size, p=weights)
+    if scenario.priority_mix is not None:
+        tiers = [int(p) for p, _ in scenario.priority_mix]
+        tier_w = np.asarray([w for _, w in scenario.priority_mix], dtype=np.float64)
+        tier_picks = rng.choice(len(tiers), size=times.size, p=tier_w / tier_w.sum())
+        priorities = [tiers[t] for t in tier_picks]
+    else:
+        priorities = [0] * times.size
     deadline = scenario.slo_ms / 1e3 if scenario.slo_ms is not None else None
     return [
         Request(request_id=i, model=names[picks[i]], arrival_s=float(times[i]),
                 image=rng.standard_normal(input_shapes[names[picks[i]]]),
-                deadline_s=deadline)
+                deadline_s=deadline, priority=priorities[i])
         for i in range(times.size)
     ]
+
+
+# ---------------------------------------------------------------------- #
+# Load-generation pacing (real-execution serving)
+# ---------------------------------------------------------------------- #
+class OpenLoopPacer:
+    """Release requests at their scenario arrival offsets on the wall clock.
+
+    Open-loop load generation: release times follow the arrival process and
+    **never** wait for completions — if the server falls behind, requests
+    keep arriving and its queues grow, which is exactly the overload signal
+    a closed loop (that politely waits) can never produce.
+    :meth:`on_completion` is a no-op by contract.
+
+    ``time_scale`` stretches (>1) or compresses (<1) the scenario clock;
+    ``clock`` and ``sleep_fn`` are injectable for deterministic tests.
+    """
+
+    kind = "open"
+
+    def __init__(self, requests: Sequence[Request], *, time_scale: float = 1.0,
+                 clock: Callable[[], float] = time.perf_counter,
+                 sleep_fn: Callable[[float], None] = time.sleep) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale}")
+        self.requests = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        self.time_scale = float(time_scale)
+        self._clock = clock
+        self._sleep = sleep_fn
+        self._aborted = threading.Event()
+        #: per-request release offsets (seconds from pacing start), recorded
+        #: as each request is handed out
+        self.released: dict[int, float] = {}
+
+    def __iter__(self) -> Iterator[tuple[Request, float]]:
+        start = self._clock()
+        for req in self.requests:
+            if self._aborted.is_set():
+                return
+            target = req.arrival_s * self.time_scale
+            now = self._clock() - start
+            if target > now:
+                self._sleep(target - now)
+                now = self._clock() - start
+            self.released[req.request_id] = now
+            yield req, now
+
+    def on_completion(self, request_id: int) -> None:
+        """Open-loop pacing ignores completions — that is the point."""
+
+    def abort(self) -> None:
+        """Stop releasing (a server-side failure is tearing serving down)."""
+        self._aborted.set()
+
+
+class ClosedLoopPacer:
+    """Completion-gated release: at most ``concurrency`` requests in flight.
+
+    The classic load-tester loop — each of ``concurrency`` virtual users
+    issues its next request only once the previous one finished — so the
+    offered rate adapts to server capacity and arrival timestamps *depend on*
+    completions.  Useful as the contrast baseline for the open-loop pacer;
+    scenario arrival offsets only fix the release *order*.
+    """
+
+    kind = "closed"
+
+    def __init__(self, requests: Sequence[Request], *, concurrency: int = 1,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.requests = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        self.concurrency = int(concurrency)
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._outstanding = 0
+        self._aborted = False
+        self.max_outstanding = 0
+        self.released: dict[int, float] = {}
+
+    def __iter__(self) -> Iterator[tuple[Request, float]]:
+        start = self._clock()
+        for req in self.requests:
+            with self._cond:
+                while self._outstanding >= self.concurrency and not self._aborted:
+                    self._cond.wait()
+                if self._aborted:
+                    return
+                self._outstanding += 1
+                self.max_outstanding = max(self.max_outstanding, self._outstanding)
+            now = self._clock() - start
+            self.released[req.request_id] = now
+            yield req, now
+
+    def on_completion(self, request_id: int) -> None:
+        """Free one in-flight slot (shed requests count as completed here)."""
+        with self._cond:
+            if self._outstanding > 0:
+                self._outstanding -= 1
+            self._cond.notify()
+
+    def abort(self) -> None:
+        """Unblock the release loop (a server-side failure is tearing down)."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
