@@ -12,7 +12,11 @@ then calls this script to gate the run:
   are slower than the baseline machine don't flake the job — the band is
   ``max(tolerance, BENCH_WALL_TOL)`` for those metrics only;
 * **absolute floors** fail regardless of the baseline: tape speedup must
-  stay >= the 1.25x gate, the deterministic p99 improvement >= 5x.
+  stay >= the 1.25x gate, the deterministic p99 improvement >= 5x, and
+  telemetry-disabled serving throughput must stay within
+  ``TELEMETRY_OVERHEAD_MAX_PCT`` of the no-telemetry baseline (the
+  ``telemetry.disabled_relative_throughput`` ratio is floored at
+  ``1 - pct/100``).
 
 ``--update-baselines`` rewrites ``benchmarks/baselines/bench_baselines.json``
 from the current BENCH files (run the benchmarks first).  Exit status: 0 on
@@ -34,6 +38,11 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "bench_baselines
 DEFAULT_TOLERANCE = 0.15        # ISSUE gate: fail if goodput drops >15%
 TAPE_SPEEDUP_FLOOR = 1.25       # ISSUE gate: overhead speedup < 1.25x fails
 P99_IMPROVEMENT_FLOOR = 5.0     # the serving bench already asserts > 5x
+#: telemetry-disabled serving may cost at most this much throughput vs. the
+#: no-telemetry baseline (mirrors the bench's own gate; env-overridable for
+#: noisy shared runners)
+TELEMETRY_OVERHEAD_MAX_PCT = float(
+    os.environ.get("TELEMETRY_OVERHEAD_MAX_PCT", "2"))
 
 
 @dataclass(frozen=True)
@@ -58,8 +67,9 @@ def _load(path: Path) -> dict:
         sys.exit(2)
 
 
-def extract_metrics(serving: dict, overhead: dict) -> list[Metric]:
-    """Pull the gated numbers out of the two BENCH payloads."""
+def extract_metrics(serving: dict, overhead: dict,
+                    telemetry: dict | None = None) -> list[Metric]:
+    """Pull the gated numbers out of the BENCH payloads."""
     try:
         wall = serving["wall_clock"]
         metrics = [
@@ -77,6 +87,12 @@ def extract_metrics(serving: dict, overhead: dict) -> list[Metric]:
             metrics.append(Metric(f"overhead.{model}.tape_speedup",
                                   float(overhead["models"][model]["tape_speedup"]),
                                   floor=TAPE_SPEEDUP_FLOOR))
+        if telemetry is not None:
+            metrics.append(Metric(
+                "telemetry.disabled_relative_throughput",
+                float(telemetry["disabled_relative_throughput"]),
+                wall_clock=True,
+                floor=1.0 - TELEMETRY_OVERHEAD_MAX_PCT / 100.0))
     except KeyError as exc:
         print(f"error: BENCH payload is missing expected key {exc} — "
               f"schema drift? update this script and the baselines together",
@@ -119,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
                         default=REPO_ROOT / "BENCH_serving.json")
     parser.add_argument("--overhead", type=Path,
                         default=REPO_ROOT / "BENCH_overhead.json")
+    parser.add_argument("--telemetry", type=Path,
+                        default=REPO_ROOT / "BENCH_telemetry.json")
     parser.add_argument("--baselines", type=Path, default=BASELINE_PATH)
     parser.add_argument("--tolerance", type=float,
                         default=float(os.environ.get("BENCH_REGRESSION_TOL",
@@ -131,7 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     wall_tolerance = float(os.environ.get("BENCH_WALL_TOL", args.tolerance))
-    metrics = extract_metrics(_load(args.serving), _load(args.overhead))
+    metrics = extract_metrics(_load(args.serving), _load(args.overhead),
+                              _load(args.telemetry))
 
     if args.update_baselines:
         args.baselines.parent.mkdir(parents=True, exist_ok=True)

@@ -27,6 +27,7 @@ from repro.serving import (
     AdmissionPolicy,
     BatchingPolicy,
     FleetServer,
+    TelemetryConfig,
     fleet_input_shapes,
     generate_requests,
 )
@@ -129,6 +130,29 @@ def test_serving_scenarios(benchmark, report_writer):
                  f"{wall.latency_ms('p50'):.2f}", f"{wall.latency_ms('p99'):.2f}",
                  "-", "-"])
 
+    # Open-loop pacing on the same thread-pool server: arrivals released on
+    # the wall clock independent of completions.  time_scale compresses the
+    # scenario clock — smaller scale = higher offered load, so the pair
+    # shows the open-loop overload trajectory (latency grows, sheds appear)
+    # that flood ingestion can't express.
+    open_cells = {}
+    for scale in (0.25, 0.05):
+        open_server = FleetServer(FLEET, batch_size=BATCH, image_size=IMAGE_SIZE,
+                                  policy=POLICIES["dynamic"],
+                                  admission=AdmissionPolicy(max_queue_depth=128),
+                                  compile_kwargs=COMPILE_KWARGS,
+                                  workers=2, execution="real")
+        open_report = open_server.serve(steady, pacing="open", time_scale=scale)
+        open_server.close()
+        assert open_report.pacing == "open"
+        assert open_report.completed + open_report.shed == len(steady)
+        open_cells[f"time_scale={scale}"] = open_report.to_dict()
+        rows.append([f"steady_poisson(open x{scale})", "dynamic",
+                     open_report.fleet["arrivals"], open_report.completed,
+                     open_report.shed, f"{open_report.fleet['goodput_rps']:.0f}",
+                     f"{open_report.latency_ms('p50'):.2f}",
+                     f"{open_report.latency_ms('p99'):.2f}", "-", "-"])
+
     # Same stream once more on the PROCESS backend: two worker processes,
     # per-process engines warmed from .rpa artifacts, codes over shared
     # memory.  This is the measured multiprocess row that sits next to the
@@ -139,7 +163,15 @@ def test_serving_scenarios(benchmark, report_writer):
                               compile_kwargs=COMPILE_KWARGS,
                               workers=2, execution="real", backend="process")
     proc_wall = proc_server.serve(steady)
+    # One more traced pass on the live process fleet: a 25%-sampled request
+    # trace whose Chrome JSON lands next to the report tables (CI uploads it
+    # as an artifact — load it in Perfetto to see the run).
+    traced = proc_server.serve(
+        steady, telemetry=TelemetryConfig(sample_rate=0.25))
+    trace_path = Path(__file__).parent / "reports" / "trace.json"
+    traced.save_trace(trace_path)
     proc_server.close()
+    assert traced.trace.spans, "sampled process-backend run must record spans"
     assert proc_wall.backend == "process"
     assert proc_wall.completed > 0 and proc_wall.fleet["goodput_rps"] > 0
     rows.append(["steady_poisson(proc)", "dynamic", proc_wall.fleet["arrivals"],
@@ -154,7 +186,8 @@ def test_serving_scenarios(benchmark, report_writer):
         rows,
         title=f"Fleet serving — {' + '.join(FLEET)}, batch {BATCH}, "
               f"max_wait {MAX_WAIT_S * 1e3:.0f}ms (* = deterministic 2ms batches; "
-              f"(wall) = real thread pool; (proc) = real worker processes)",
+              f"(wall) = real thread pool; (proc) = real worker processes; "
+              f"(open xS) = open-loop pacing at time_scale S)",
     ))
 
     payload = {
@@ -180,6 +213,11 @@ def test_serving_scenarios(benchmark, report_writer):
                 cells["steady_poisson/dynamic"]["metrics"]["fleet"]["goodput_rps"],
             "thread": wall.to_dict(),
             "process": proc_wall.to_dict(),
+        },
+        "open_loop": {
+            "scenario": "steady_poisson",
+            "workers": 2,
+            **open_cells,
         },
         "unix_time": time.time(),
     }

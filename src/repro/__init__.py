@@ -14,6 +14,9 @@ Sub-packages
                     serving runner, bit-exactness parity checks.
 ``repro.serving``   Multi-model fleet server: dynamic batching, LRU plan cache,
                     SLO admission control, workload scenarios, serving metrics.
+``repro.telemetry`` Request-scoped tracing (Chrome trace-event export),
+                    tape-level profiling spans, Prometheus text exposition and
+                    the metrics time-series reduction.
 ``repro.deploy``    One compile-and-deploy API: typed compile configs, the
                     Deployment object, persistent content-addressed plan
                     artifacts (save/load with zero recompilation).
@@ -25,9 +28,9 @@ Sub-packages
 """
 
 from . import autograd, nn, optim, quant, graph, engine, models, serving, data, training, analysis
-from . import deploy
+from . import deploy, telemetry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "autograd",
@@ -39,6 +42,7 @@ __all__ = [
     "models",
     "serving",
     "deploy",
+    "telemetry",
     "data",
     "training",
     "analysis",

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
 from ..quant.config import LayerPrecision
+from ..telemetry.trace import TelemetryConfig
 
 __all__ = ["QuantConfig", "RuntimeConfig", "CompileConfig", "ServeConfig"]
 
@@ -197,6 +198,8 @@ class ServeConfig:
     backend: str = "thread"           # real-execution workers: "thread" | "process"
     priority_shed: bool = True        # preempt lower-priority queued requests
     warm: bool = True
+    #: request-span tracing + metrics time-series knobs (None -> telemetry off)
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch is not None and self.max_batch < 1:

@@ -327,6 +327,7 @@ class Deployment:
             disk_max_bytes=serve.disk_max_bytes,
             execution=serve.execution,
             backend=serve.backend,
+            telemetry=serve.telemetry,
         )
         server.cache.put(self.model, self)
         for deployment in preload:

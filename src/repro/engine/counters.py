@@ -48,6 +48,16 @@ class PipelineCounters:
         now = self.snapshot()
         return {key: now[key] - since[key] for key in now}
 
+    def to_metrics(self, namespace: str = "repro") -> dict[str, int]:
+        """Prometheus-style counter names -> values.
+
+        The bridge :func:`repro.telemetry.prometheus_text` uses to expose
+        pipeline work next to the serving counters
+        (``repro_pipeline_<stage>_total``).
+        """
+        return {f"{namespace}_pipeline_{key}_total": value
+                for key, value in self.snapshot().items()}
+
 
 #: The process-global instance every pipeline stage ticks.
 PIPELINE_COUNTERS = PipelineCounters()

@@ -158,19 +158,28 @@ class TapeProgram:
         #: the caller's input would otherwise go stale for fallbacks)
         self._env_pins = env_pins or [(0, input_buffer)]
         self._calls: list = []
+        self._flat: list[Instr] = []
+        #: opt-in per-instruction instrumentation: when set to a callable
+        #: ``sink(instr, start_s, end_s)`` (raw ``perf_counter`` stamps),
+        #: :meth:`execute` times every instruction through it — see
+        #: :func:`repro.telemetry.attach_tape_sink`.  ``None`` (default)
+        #: keeps the untimed fast loop; the cost of the hook when unset is
+        #: one attribute check per batch.
+        self.trace_sink = None
         self.rebuild()
 
     # ------------------------------------------------------------------ #
     def rebuild(self) -> None:
         """Flatten the chosen instructions into the hot-path call list."""
-        calls = []
+        flat: list[Instr] = []
         for item in self.items:
             if isinstance(item, _TunableGroup):
-                calls.extend(instr.run for instr in item.instructions())
+                flat.extend(item.instructions())
             else:
-                calls.append(item.run)
-        self._calls = calls
-        self.report["instructions"] = len(calls)
+                flat.append(item)
+        self._flat = flat
+        self._calls = [instr.run for instr in flat]
+        self.report["instructions"] = len(self._calls)
         self.report["kernel_choices"] = self.choices()
 
     def execute(self) -> None:
@@ -182,6 +191,13 @@ class TapeProgram:
         if env[0] is not self.input_buffer:
             for slot, array in self._env_pins:
                 env[slot] = array
+        sink = self.trace_sink
+        if sink is not None:
+            for instr in self._flat:
+                start = time.perf_counter()
+                instr.run()
+                sink(instr, start, time.perf_counter())
+            return
         for fn in self._calls:
             fn()
 
@@ -235,12 +251,7 @@ class TapeProgram:
     def profile(self, repeats: int = 5) -> list[tuple[str, str, float]]:
         """Per-instruction mean seconds (step name, kind, seconds)."""
         self.execute()
-        flat: list = []
-        for item in self.items:
-            if isinstance(item, _TunableGroup):
-                flat.extend(item.instructions())
-            else:
-                flat.append(item)
+        flat = self._flat
         totals = [0.0] * len(flat)
         for _ in range(repeats):
             self._env[0] = self.input_buffer

@@ -12,9 +12,13 @@ workload generators (Poisson, bursty, diurnal, heavy-tailed) with open- and
 closed-loop pacers, priority-class admission (lowest tier preempted first),
 a multiprocess fleet backend (``backend="process"`` — per-process tape
 engines behind shared-memory arenas) and first-class serving metrics — all
-on the same virtual clock as ``repro.engine.BatchedRunner``.
+on the same virtual clock as ``repro.engine.BatchedRunner``.  Request-span
+tracing rides along: serve with ``telemetry=TelemetryConfig(sample_rate=...)``
+(re-exported from :mod:`repro.telemetry`) and the report carries a
+Chrome-trace-exportable :class:`~repro.telemetry.Trace`.
 """
 
+from ..telemetry.trace import TelemetryConfig
 from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
 from .cache import PlanCache
@@ -50,6 +54,7 @@ __all__ = [
     "FleetReport",
     "FleetServer",
     "ServedRequest",
+    "TelemetryConfig",
     "SCENARIOS",
     "ClosedLoopPacer",
     "OpenLoopPacer",

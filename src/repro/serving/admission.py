@@ -98,11 +98,22 @@ class AdmissionDecision:
 
 
 class AdmissionController:
-    """Applies an :class:`AdmissionPolicy` using the EWMA cost model."""
+    """Applies an :class:`AdmissionPolicy` using the EWMA cost model.
+
+    Decision tallies accumulate on :attr:`counters` across the
+    controller's lifetime (Prometheus-counter semantics); the server
+    reports per-run deltas by snapshotting :meth:`stats` around a serve.
+    """
 
     def __init__(self, policy: AdmissionPolicy, cost_model: EwmaCostModel) -> None:
         self.policy = policy
         self.cost_model = cost_model
+        self.counters = {"considered": 0, "admitted": 0, "shed_queue_full": 0,
+                         "shed_slo": 0, "preempted": 0}
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative decision counts (copy; safe to mutate)."""
+        return dict(self.counters)
 
     def predicted_latency_s(self, request: Request, now: float, worker_free: float,
                             queues: dict[str, DynamicBatcher],
@@ -127,6 +138,18 @@ class AdmissionController:
     def consider(self, request: Request, now: float, worker_free: float,
                  queues: dict[str, DynamicBatcher],
                  batching: BatchingPolicy) -> AdmissionDecision:
+        decision = self._consider(request, now, worker_free, queues, batching)
+        self.counters["considered"] += 1
+        if decision.admitted:
+            self.counters["admitted"] += 1
+            self.counters["preempted"] += len(decision.evicted)
+        else:
+            self.counters[f"shed_{decision.reason}"] += 1
+        return decision
+
+    def _consider(self, request: Request, now: float, worker_free: float,
+                  queues: dict[str, DynamicBatcher],
+                  batching: BatchingPolicy) -> AdmissionDecision:
         policy = self.policy
         queue = queues[request.model]
         evicted: list[Request] = []

@@ -74,6 +74,10 @@ class DynamicBatcher:
         self.model = model
         self.policy = policy
         self._queue: deque[Request] = deque()
+        # Lifetime observability tallies (surfaced per model in reports).
+        self.pushes = 0
+        self.popped_batches = 0
+        self.max_depth = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -92,6 +96,9 @@ class DynamicBatcher:
             raise ValueError(f"request for {request.model!r} routed to the "
                              f"{self.model!r} queue")
         self._queue.append(request)
+        self.pushes += 1
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
 
     def ready_time(self, pending_arrivals: int) -> float:
         """Earliest virtual time this queue can launch a batch.
@@ -117,7 +124,13 @@ class DynamicBatcher:
     def pop_batch(self) -> list[Request]:
         """Dequeue up to ``max_batch`` requests in arrival order."""
         take = min(self.policy.max_batch, len(self._queue))
+        self.popped_batches += 1
         return [self._queue.popleft() for _ in range(take)]
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime queue tallies: pushes, batches popped, peak depth."""
+        return {"pushes": self.pushes, "popped_batches": self.popped_batches,
+                "max_depth": self.max_depth}
 
     # ------------------------------------------------------------------ #
     # Priority preemption (see AdmissionController)

@@ -1,11 +1,19 @@
 """Serving metrics: per-model and fleet-wide latency, goodput, queue depth.
 
-Collects events from one :meth:`FleetServer.serve` run on the virtual clock
-and reduces them into a JSON-serializable report: percentile latency per
-model and fleet-wide, goodput vs. shed rate, batch fill (variable-fill
-batches mean partial batches are *not* reported at full batch size — padded
-slots are a separate counter), worker utilization, and a queue-depth
-timeline downsampled to a bounded number of points.
+Collects events from one :meth:`FleetServer.serve` run and reduces them
+into a JSON-serializable report: percentile latency per model and
+fleet-wide, goodput vs. shed rate, batch fill (variable-fill batches mean
+partial batches are *not* reported at full batch size — padded slots are a
+separate counter), worker utilization, a queue-depth timeline downsampled
+to a bounded number of points, and a periodic **time-series** (arrivals,
+goodput, shed rate, queue depth and utilization per fixed interval — see
+:func:`repro.telemetry.snapshot.build_timeseries`), which is the
+structured successor of the raw timeline.
+
+Event recorders accept an optional ``now`` timestamp (virtual seconds or
+wall-clock offsets from serve start, whichever clock the run is on);
+timestamped events feed the time-series, untimestamped ones only the
+aggregate counters — existing callers keep working unchanged.
 """
 
 from __future__ import annotations
@@ -13,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..telemetry.snapshot import build_timeseries
 
 __all__ = ["percentiles_ms", "ModelStats", "MetricsCollector"]
 
@@ -89,26 +99,41 @@ class MetricsCollector:
         self._busy_s = 0.0
         self._first_arrival_s: float | None = None
         self._last_arrival_s: float | None = None
+        # Timestamped event streams feeding the interval time-series.
+        self._arrival_t: list[float] = []
+        self._completion_t: list[float] = []
+        self._shed_t: list[float] = []
+        self._batch_events: list[tuple[float, float]] = []
 
     def record_arrival(self, model: str, now: float) -> None:
         self.per_model[model].arrivals += 1
         if self._first_arrival_s is None:
             self._first_arrival_s = now
         self._last_arrival_s = now
+        self._arrival_t.append(now)
 
-    def record_shed(self, model: str, reason: str) -> None:
+    def record_shed(self, model: str, reason: str,
+                    now: float | None = None) -> None:
         shed = self.per_model[model].shed
         shed[reason] = shed.get(reason, 0) + 1
+        if now is not None:
+            self._shed_t.append(now)
 
     def record_batch(self, model: str, fill: int, batch_size: int,
-                     compute_s: float) -> None:
-        """``batch_size`` is the engine's bound batch shape — the padding base."""
+                     compute_s: float, now: float | None = None) -> None:
+        """``batch_size`` is the engine's bound batch shape — the padding base.
+
+        ``now`` is the batch's finish time; the compute is credited to the
+        finishing interval of the time-series.
+        """
         stats = self.per_model[model]
         stats.batches += 1
         stats.filled_slots += fill
         stats.padded_slots += batch_size - fill
         stats.compute_s += compute_s
         self._busy_s += compute_s
+        if now is not None:
+            self._batch_events.append((now, compute_s))
 
     def record_megabatch(self, model: str, packed_batches: int) -> None:
         """``packed_batches`` policy batches shared one packed engine pass."""
@@ -117,7 +142,8 @@ class MetricsCollector:
         stats.megabatch_saved_executions += packed_batches - 1
 
     def record_completion(self, model: str, latency_s: float,
-                          deadline_s: float | None = None) -> None:
+                          deadline_s: float | None = None,
+                          now: float | None = None) -> None:
         """Completions with a deadline also feed SLO attainment — a completed
         request that busts its deadline is not goodput in the SLO sense."""
         stats = self.per_model[model]
@@ -128,6 +154,8 @@ class MetricsCollector:
                 stats.slo_met += 1
             else:
                 stats.slo_missed += 1
+        if now is not None:
+            self._completion_t.append(now)
 
     def record_queue_depth(self, now: float, total_depth: int) -> None:
         self._depth_t.append(now)
@@ -138,14 +166,22 @@ class MetricsCollector:
         if not self._depth_t:
             return {"t_s": [], "depth": [], "max_depth": 0}
         stride = max(1, len(self._depth_t) // TIMELINE_POINTS)
+        t_s = [round(t, 6) for t in self._depth_t[::stride]]
+        depth = self._depth[::stride]
+        # Strided slices drop the final sample unless (n-1) % stride == 0;
+        # the timeline must end at the true end of the run.
+        if (len(self._depth_t) - 1) % stride != 0:
+            t_s.append(round(self._depth_t[-1], 6))
+            depth = [*depth, self._depth[-1]]
         return {
-            "t_s": [round(t, 6) for t in self._depth_t[::stride]],
-            "depth": self._depth[::stride],
+            "t_s": t_s,
+            "depth": list(depth),
             "max_depth": int(max(self._depth)),
         }
 
     def report(self, makespan_s: float, workers: int = 1,
-               execution: str = "virtual") -> dict:
+               execution: str = "virtual",
+               snapshot_interval_s: float | None = None) -> dict:
         """Fleet-wide + per-model reduction over the collected events.
 
         ``workers`` is the dispatch-worker count; utilization is busy time
@@ -154,7 +190,13 @@ class MetricsCollector:
         ``"virtual"`` (the discrete-event simulation) or ``"real"``
         (measured wall time on a live thread pool) — on a real run,
         ``makespan_s``, ``goodput_rps`` and every latency percentile are
-        measured wall-clock numbers.
+        measured wall-clock numbers.  ``snapshot_interval_s`` sets the
+        bucket width of the ``timeseries`` reduction (``None`` -> auto).
+
+        ``offered_rps`` is arrivals over the first-to-last arrival span;
+        a single-arrival run has a zero span, so it falls back to the
+        makespan (one request over the whole run) — the rate is finite
+        whenever any work happened.
         """
         arrivals = sum(s.arrivals for s in self.per_model.values())
         completed = sum(s.completed for s in self.per_model.values())
@@ -165,6 +207,12 @@ class MetricsCollector:
         span = ((self._last_arrival_s - self._first_arrival_s)
                 if self._first_arrival_s is not None and self._last_arrival_s is not None
                 else 0.0)
+        if span > 0.0:
+            offered_rps = arrivals / span
+        elif makespan_s:
+            offered_rps = arrivals / makespan_s   # single-arrival fallback
+        else:
+            offered_rps = 0.0
         return {
             "makespan_s": makespan_s,
             "execution": execution,
@@ -174,7 +222,7 @@ class MetricsCollector:
                 "shed": shed,
                 "shed_rate": shed / arrivals if arrivals else 0.0,
                 "slo_attainment": slo_met / deadline_pop if deadline_pop else None,
-                "offered_rps": arrivals / span if span else 0.0,
+                "offered_rps": offered_rps,
                 "goodput_rps": completed / makespan_s if makespan_s else 0.0,
                 "utilization": (self._busy_s / (workers * makespan_s)
                                 if makespan_s else 0.0),
@@ -182,4 +230,10 @@ class MetricsCollector:
             },
             "per_model": {m: s.to_dict() for m, s in self.per_model.items()},
             "queue_depth": self._timeline(),
+            "timeseries": build_timeseries(
+                makespan_s=makespan_s, workers=workers,
+                arrivals=self._arrival_t, completions=self._completion_t,
+                sheds=self._shed_t, batches=self._batch_events,
+                depth_samples=list(zip(self._depth_t, self._depth)),
+                interval_s=snapshot_interval_s),
         }

@@ -52,12 +52,19 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
                  task_queue, result_queue) -> None:
     """Worker-process entry point: bootstrap engines, then serve tasks.
 
-    Protocol (task queue): ``("run", task_id, model, fills)`` — the parent
-    has written ``sum(fills)`` concatenated images into the input arena;
-    execute them as megabatch groups, write the concatenated codes into the
-    output arena, reply ``("done", task_id, elapsed_s, executions, dtype,
-    shape)``.  ``("stop",)`` exits.  Any failure replies ``("error",
-    task_id_or_None, message)``; bootstrap failures carry ``task_id=None``.
+    Protocol (task queue): ``("run", task_id, model, fills, trace)`` — the
+    parent has written ``sum(fills)`` concatenated images into the input
+    arena; execute them as megabatch groups, write the concatenated codes
+    into the output arena, reply ``("done", task_id, elapsed_s, executions,
+    dtype, shape, spans)``.  ``trace`` is ``None`` (tracing off) or
+    ``{"now": parent_stamp_s, "tape": bool}``: the worker aligns its clock
+    with the parent by ``offset = parent_stamp_s - perf_counter()`` at task
+    receipt and ships span tuples (see
+    :meth:`repro.telemetry.Span.to_tuple`) back in ``spans`` — a worker-lane
+    execute span, plus per-instruction tape spans when ``tape`` is set and
+    the engine runs in tape mode.  ``("stop",)`` exits.  Any failure replies
+    ``("error", task_id_or_None, message)``; bootstrap failures carry
+    ``task_id=None``.
     """
     from multiprocessing import shared_memory
 
@@ -82,7 +89,7 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
             message = task_queue.get()
             if message[0] == "stop":
                 return
-            _, task_id, model, fills = message
+            _, task_id, model, fills, trace = message
             try:
                 engine = engines[model]
                 sample_shape = tuple(specs[model]["input_shape"][1:])
@@ -93,9 +100,37 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
                 for fill in fills:
                     groups.append(staged[offset:offset + fill])
                     offset += fill
-                start = time.perf_counter()
-                outputs, executions = run_partial_groups(engine, groups)
-                elapsed = time.perf_counter() - start
+                spans: list[tuple] = []
+                detach = None
+                clock_offset = 0.0
+                if trace is not None:
+                    # Align this process's clock with the parent's trace
+                    # clock: the parent stamped "now" just before sending.
+                    clock_offset = trace["now"] - time.perf_counter()
+                    if trace.get("tape") and getattr(engine, "mode", None) == "tape":
+                        from ..telemetry.trace import attach_tape_sink
+                        tape = engine._ensure_tape()
+                        lane = f"proc-worker-{worker_index}-tape"
+
+                        def emit(name, args, t0, t1, _lane=lane):
+                            spans.append((name, "tape", t0 + clock_offset,
+                                          t1 + clock_offset, _lane, None, args))
+
+                        detach = attach_tape_sink(tape, emit)
+                try:
+                    start = time.perf_counter()
+                    outputs, executions = run_partial_groups(engine, groups)
+                    elapsed = time.perf_counter() - start
+                finally:
+                    if detach is not None:
+                        detach()
+                if trace is not None:
+                    spans.append((model, "execute", start + clock_offset,
+                                  start + elapsed + clock_offset,
+                                  f"proc-worker-{worker_index}", None,
+                                  {"fills": list(fills),
+                                   "executions": int(executions),
+                                   "compute_ms": elapsed * 1e3}))
                 codes = np.concatenate(
                     [out.codes[:fill] for out, fill in zip(outputs, fills)],
                     axis=0)
@@ -103,7 +138,7 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
                                       buffer=out_shm.buf)
                 out_view[:] = codes  # int32 -> int64 widening is lossless
                 result_queue.put(("done", task_id, elapsed, executions,
-                                  str(codes.dtype), tuple(codes.shape)))
+                                  str(codes.dtype), tuple(codes.shape), spans))
             except BaseException as exc:  # noqa: BLE001
                 result_queue.put(("error", task_id,
                                   f"worker {worker_index} task {task_id} on "
@@ -196,16 +231,19 @@ class ProcessFleetBackend:
 
     # ------------------------------------------------------------------ #
     def run(self, worker_index: int, model: str,
-            images: Sequence[np.ndarray]):
+            images: Sequence[np.ndarray], trace: dict | None = None):
         """Execute megabatch groups on one worker process.
 
         ``images`` is a list of stacked per-batch arrays (``(fill, C, H,
         W)`` each, total fill <= the engine batch size).  Returns
-        ``(codes_per_group, executions, elapsed_s)`` where each codes array
-        has exactly its group's fill rows and the engine's exact dtype —
-        bit-identical to in-process execution.  ``elapsed_s`` is the
+        ``(codes_per_group, executions, elapsed_s, spans)`` where each codes
+        array has exactly its group's fill rows and the engine's exact
+        dtype — bit-identical to in-process execution.  ``elapsed_s`` is the
         worker-measured compute time (IPC excluded), which feeds the EWMA
-        cost model.
+        cost model.  ``trace`` is ``None`` or ``{"now": parent_trace_stamp,
+        "tape": bool}``; when set, ``spans`` carries the worker's span
+        tuples aligned to the parent's trace clock (empty otherwise) — see
+        :meth:`repro.telemetry.Tracer.adopt`.
         """
         if not self._started or self._closed:
             raise RuntimeError("backend is not running (call start())")
@@ -226,11 +264,12 @@ class ProcessFleetBackend:
         staged[:] = flat
         task_id = self._task_counter
         self._task_counter += 1
-        self._task_queues[worker_index].put(("run", task_id, model, fills))
+        self._task_queues[worker_index].put(("run", task_id, model, fills,
+                                             trace))
         message = self._result_queues[worker_index].get()
         if message[0] == "error":
             raise RuntimeError(message[2])
-        _, done_id, elapsed, executions, dtype, shape = message
+        _, done_id, elapsed, executions, dtype, shape, spans = message
         if done_id != task_id:
             raise RuntimeError(f"worker {worker_index} answered task "
                                f"{done_id}, expected {task_id}")
@@ -241,7 +280,7 @@ class ProcessFleetBackend:
         for fill in fills:
             group_codes.append(codes[offset:offset + fill])
             offset += fill
-        return group_codes, int(executions), float(elapsed)
+        return group_codes, int(executions), float(elapsed), spans
 
     # ------------------------------------------------------------------ #
     def close(self, join_timeout_s: float = 10.0) -> None:

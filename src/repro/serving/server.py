@@ -65,6 +65,8 @@ from ..deploy.config import CompileConfig
 from ..engine.parallel import ShardedRunner
 from ..engine.runner import run_partial_groups
 from ..models.registry import MODEL_REGISTRY, available_models
+from ..telemetry.trace import (NULL_TRACER, TelemetryConfig, Trace, Tracer,
+                               attach_tape_sink)
 from .admission import AdmissionController, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
 from .cache import PlanCache
@@ -111,6 +113,8 @@ class FleetReport:
     execution: str = "virtual"
     backend: str = "event-loop"          # "event-loop" | "thread" | "process"
     pacing: str = "virtual"              # "virtual" | "flood" | "open" | "closed"
+    #: request-span trace when the run was served with telemetry enabled
+    trace: Trace | None = None
 
     @property
     def fleet(self) -> dict:
@@ -128,7 +132,8 @@ class FleetReport:
         return self.fleet["latency_ms"][percentile]
 
     def to_dict(self) -> dict:
-        """JSON-serializable view (outcomes elided — they carry arrays)."""
+        """JSON-serializable view (outcomes and trace elided — use
+        :meth:`save_trace` for the trace)."""
         return {
             "policy": self.policy,
             "workers": self.workers,
@@ -140,6 +145,19 @@ class FleetReport:
             "cost_model_s": self.cost_model_s,
             "wall_time_s": self.wall_time_s,
         }
+
+    def save_trace(self, path) -> Path:
+        """Write the run's Chrome ``trace_event`` JSON (Perfetto-loadable)."""
+        if self.trace is None:
+            raise ValueError(
+                "this report carries no trace; serve with "
+                "telemetry=TelemetryConfig(sample_rate=...) to record one")
+        return self.trace.save(path)
+
+    def prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition of the run's metrics."""
+        from ..telemetry.export import prometheus_text
+        return prometheus_text(self.metrics, namespace=namespace)
 
 
 class FleetServer:
@@ -161,7 +179,8 @@ class FleetServer:
                  execution: str = "virtual",
                  backend: str = "thread",
                  mp_context: str = "spawn",
-                 disk_max_bytes: int | None = None) -> None:
+                 disk_max_bytes: int | None = None,
+                 telemetry: TelemetryConfig | None = None) -> None:
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must name at least one registry model")
@@ -217,6 +236,10 @@ class FleetServer:
         if backend == "process" and shard_workers > 1:
             raise ValueError("backend='process' already parallelizes across "
                              "processes; shard_workers must be 1")
+        if telemetry is not None and not isinstance(telemetry, TelemetryConfig):
+            raise TypeError(f"telemetry must be a TelemetryConfig or None, "
+                            f"got {type(telemetry).__name__}")
+        self.telemetry = telemetry
         self.workers = int(workers)
         self.shard_workers = int(shard_workers)
         #: per-model sharded executors; a PlanCache recompile produces a new
@@ -262,6 +285,17 @@ class FleetServer:
         self._sharded[name] = runner
         return runner
 
+    @staticmethod
+    def _tape_of(engine):
+        """The engine's compiled TapeProgram, or None when it has none
+        (sharded runners and non-tape modes are served without tape spans)."""
+        tape = getattr(engine, "tape", None)
+        if tape is None and getattr(engine, "mode", None) == "tape":
+            ensure = getattr(engine, "_ensure_tape", None)
+            if ensure is not None:
+                tape = ensure()
+        return tape
+
     def close(self) -> None:
         """Release the sharded executors' thread pools (no-op for shard_workers=1)."""
         for runner in self._sharded.values():
@@ -285,7 +319,8 @@ class FleetServer:
     def serve(self, requests: Sequence[Request], *,
               pacing: object = None,
               time_scale: float = 1.0,
-              closed_concurrency: int | None = None) -> FleetReport:
+              closed_concurrency: int | None = None,
+              telemetry: TelemetryConfig | None = None) -> FleetReport:
         """Serve a request stream.
 
         ``execution="virtual"`` (default) runs the discrete-event loop on
@@ -304,6 +339,12 @@ class FleetServer:
         instance from :mod:`repro.serving.workload`.  ``time_scale``
         stretches the scenario clock for open-loop pacing.  The virtual
         loop is open-loop by construction and accepts only flood pacing.
+
+        ``telemetry`` overrides the server's configured
+        :class:`~repro.telemetry.TelemetryConfig` for this run; a config
+        with ``sample_rate > 0`` records request spans (admission,
+        queueing, batch execution) and attaches the resulting
+        :class:`~repro.telemetry.Trace` to :attr:`FleetReport.trace`.
         """
         reqs = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         seen_ids: set[int] = set()
@@ -319,13 +360,21 @@ class FleetServer:
             seen_ids.add(req.request_id)
         pacer, pacing_name = self._make_pacer(reqs, pacing, time_scale,
                                               closed_concurrency)
+        config = telemetry if telemetry is not None else self.telemetry
+        if config is not None and not isinstance(config, TelemetryConfig):
+            raise TypeError(f"telemetry must be a TelemetryConfig or None, "
+                            f"got {type(config).__name__}")
+        tracer = (Tracer(config, clock="wall" if self.execution == "real"
+                         else "virtual")
+                  if config is not None and config.enabled else NULL_TRACER)
         if self.execution == "real":
-            return self._serve_real(reqs, pacer=pacer, pacing_name=pacing_name)
+            return self._serve_real(reqs, pacer=pacer, pacing_name=pacing_name,
+                                    tracer=tracer, telemetry=config)
         if pacer is not None:
             raise ValueError(f"pacing={pacing_name!r} requires execution='real'; "
                              f"the virtual discrete-event loop paces arrivals "
                              f"on its own clock (open-loop by construction)")
-        return self._serve_virtual(reqs)
+        return self._serve_virtual(reqs, tracer=tracer, telemetry=config)
 
     def _make_pacer(self, reqs: list[Request], pacing, time_scale: float,
                     closed_concurrency: int | None):
@@ -343,7 +392,8 @@ class FleetServer:
                              f"pacer instance, got {pacing!r}")
         return pacing, getattr(pacing, "kind", "custom")
 
-    def _serve_virtual(self, reqs: list[Request]) -> FleetReport:
+    def _serve_virtual(self, reqs: list[Request], tracer=NULL_TRACER,
+                       telemetry: TelemetryConfig | None = None) -> FleetReport:
         """The discrete-event loop over a pre-validated, sorted stream."""
         wall_start = time.perf_counter()
         pending = {m: 0 for m in self.fleet}
@@ -352,6 +402,9 @@ class FleetServer:
         queues = {m: DynamicBatcher(m, self.policy) for m in self.fleet}
         metrics = MetricsCollector(self.fleet)
         outcomes: dict[int, ServedRequest] = {}
+        admission_before = self.admission.stats()
+        #: sampled requests still in flight: request_id -> span start (arrival)
+        traced: dict[int, float] = {}
 
         # N dispatch workers on the virtual clock; a batch launches on the
         # earliest-free worker.  Each model additionally serializes on its
@@ -390,20 +443,54 @@ class FleetServer:
                 decision = self.admission.consider(req, req.arrival_s,
                                                    earliest_start,
                                                    queues, self.policy)
+                req_traced = tracer.enabled and tracer.sampled(req.request_id)
+                if req_traced:
+                    lane = f"req-{req.request_id}"
+                    tracer.record(
+                        "admission", "admission", req.arrival_s, req.arrival_s,
+                        lane=lane, trace_id=req.request_id,
+                        args={"admitted": decision.admitted,
+                              "reason": decision.reason,
+                              "predicted_ms": (decision.predicted_latency_s * 1e3
+                                               if decision.predicted_latency_s
+                                               is not None else None)})
                 if decision.admitted:
                     for victim in decision.evicted:
                         queues[victim.model].remove(victim)
-                        metrics.record_shed(victim.model, "preempted")
+                        metrics.record_shed(victim.model, "preempted",
+                                            now=req.arrival_s)
                         outcomes[victim.request_id] = ServedRequest(
                             request_id=victim.request_id, model=victim.model,
                             status="shed", shed_reason="preempted",
                             priority=victim.priority)
+                        start = traced.pop(victim.request_id, None)
+                        if start is not None:
+                            vlane = f"req-{victim.request_id}"
+                            tracer.record("queue", "queue", start, req.arrival_s,
+                                          lane=vlane, trace_id=victim.request_id,
+                                          args={"outcome": "preempted"})
+                            tracer.record("request", "request", start,
+                                          req.arrival_s, lane=vlane,
+                                          trace_id=victim.request_id,
+                                          args={"status": "shed",
+                                                "reason": "preempted",
+                                                "model": victim.model})
                     queues[req.model].push(req)
+                    if req_traced:
+                        traced[req.request_id] = req.arrival_s
                 else:
-                    metrics.record_shed(req.model, decision.reason)
+                    metrics.record_shed(req.model, decision.reason,
+                                        now=req.arrival_s)
                     outcomes[req.request_id] = ServedRequest(
                         request_id=req.request_id, model=req.model, status="shed",
                         shed_reason=decision.reason, priority=req.priority)
+                    if req_traced:
+                        tracer.record("request", "request", req.arrival_s,
+                                      req.arrival_s, lane=lane,
+                                      trace_id=req.request_id,
+                                      args={"status": "shed",
+                                            "reason": decision.reason,
+                                            "model": req.model})
                 metrics.record_queue_depth(req.arrival_s,
                                            sum(q.depth for q in queues.values()))
                 continue
@@ -418,9 +505,31 @@ class FleetServer:
             compiled = self.cache.get(model)
             engine = self._engine(model, compiled)
             images = np.stack([r.image for r in batch])
-            start = time.perf_counter()
-            output = engine.run_partial(images)
-            measured = time.perf_counter() - start
+            batch_traced = tracer.enabled and any(
+                r.request_id in traced for r in batch)
+            detach = None
+            if batch_traced and telemetry is not None and telemetry.tape_spans:
+                tape = self._tape_of(engine)
+                if tape is not None:
+                    # Tape instructions are stamped on the wall clock; remap
+                    # them onto the virtual clock relative to the launch.
+                    wall0 = time.perf_counter()
+                    tape_lane = f"worker-{worker_index}-tape"
+
+                    def emit(name, args, t0, t1, _wall0=wall0,
+                             _launch=launch_t, _lane=tape_lane):
+                        tracer.record(name, "tape", _launch + (t0 - _wall0),
+                                      _launch + (t1 - _wall0), lane=_lane,
+                                      args=args)
+
+                    detach = attach_tape_sink(tape, emit)
+            try:
+                start = time.perf_counter()
+                output = engine.run_partial(images)
+                measured = time.perf_counter() - start
+            finally:
+                if detach is not None:
+                    detach()
             compute = (self.compute_time_fn(model, fill)
                        if self.compute_time_fn is not None else measured)
             self.cost_model.observe(model, compute)
@@ -428,21 +537,54 @@ class FleetServer:
             worker_free[worker_index] = finish
             model_free[model] = finish
             last_event = max(last_event, finish)
+            if batch_traced:
+                tracer.record(model, "batch", launch_t, finish,
+                              lane=f"worker-{worker_index}",
+                              args={"fill": fill, "batch_index": batch_index,
+                                    "compute_ms_wall": measured * 1e3})
             for offset, req in enumerate(batch):
                 latency = finish - req.arrival_s
-                metrics.record_completion(model, latency, req.deadline_s)
+                metrics.record_completion(model, latency, req.deadline_s,
+                                          now=finish)
                 outcomes[req.request_id] = ServedRequest(
                     request_id=req.request_id, model=model, status="completed",
                     latency_s=latency, codes=output.codes[offset].copy(),
                     batch_index=batch_index, batch_fill=fill,
                     worker_index=worker_index, priority=req.priority)
+                start_t = traced.pop(req.request_id, None)
+                if start_t is not None:
+                    lane = f"req-{req.request_id}"
+                    tracer.record("queue", "queue", start_t, launch_t, lane=lane,
+                                  trace_id=req.request_id, args={"model": model})
+                    tracer.record("execute", "execute", launch_t, finish,
+                                  lane=lane, trace_id=req.request_id,
+                                  args={"model": model, "fill": fill,
+                                        "batch_index": batch_index,
+                                        "worker": worker_index})
+                    tracer.record("request", "request", start_t, finish,
+                                  lane=lane, trace_id=req.request_id,
+                                  args={"status": "completed", "model": model,
+                                        "latency_ms": latency * 1e3})
             # Padding is relative to the engine's bound batch shape: even a
             # "full" policy batch below batch_size pays padded compute rows.
-            metrics.record_batch(model, fill, self.batch_size, compute)
+            metrics.record_batch(model, fill, self.batch_size, compute,
+                                 now=finish)
             metrics.record_queue_depth(finish, sum(q.depth for q in queues.values()))
             batch_index += 1
 
-        report = metrics.report(makespan_s=last_event, workers=self.workers)
+        report = metrics.report(
+            makespan_s=last_event, workers=self.workers,
+            snapshot_interval_s=(telemetry.snapshot_interval_s
+                                 if telemetry is not None else None))
+        admission_after = self.admission.stats()
+        report["admission"] = {key: admission_after[key] - admission_before[key]
+                               for key in admission_after}
+        for model in self.fleet:
+            report["per_model"][model]["queue"] = queues[model].stats()
+        trace = tracer.finish({
+            "execution": "virtual", "backend": "event-loop",
+            "pacing": "virtual", "workers": self.workers,
+            "sample_rate": telemetry.sample_rate if telemetry else 0.0})
         return FleetReport(
             policy=self.policy.describe(),
             outcomes=[outcomes[rid] for rid in sorted(outcomes)],
@@ -452,6 +594,7 @@ class FleetServer:
             wall_time_s=time.perf_counter() - wall_start,
             workers=self.workers,
             execution="virtual",
+            trace=trace,
         )
 
     # ------------------------------------------------------------------ #
@@ -477,7 +620,8 @@ class FleetServer:
         return paths, tmpdir
 
     def _serve_real(self, reqs: list[Request], pacer=None,
-                    pacing_name: str = "flood") -> FleetReport:
+                    pacing_name: str = "flood", tracer=NULL_TRACER,
+                    telemetry: TelemetryConfig | None = None) -> FleetReport:
         """Wall-clock serving: N dispatch workers draining real queues.
 
         **Ingestion.** Flood pacing (default) is a deterministic
@@ -506,9 +650,21 @@ class FleetServer:
         op is per-sample independent, so per-request output codes are not.
         """
         wall_start = time.perf_counter()
+        # Trace clock origin: flood ingestion and backend spawn happen before
+        # serve_start, so spans measure from here (latency and makespan keep
+        # measuring from serve_start — their semantics are unchanged).
+        serve_origin = wall_start
+
+        def now_s() -> float:
+            return time.perf_counter() - serve_origin
+
         metrics = MetricsCollector(self.fleet)
         outcomes: dict[int, ServedRequest] = {}
         queues = {m: DynamicBatcher(m, self.policy) for m in self.fleet}
+        admission_before = self.admission.stats()
+        #: sampled requests still in flight: request_id -> admission stamp
+        #: (trace clock); guarded by the scheduler lock like the queues
+        traced: dict[int, float] = {}
 
         lock = threading.Lock()
         work_ready = threading.Condition(lock)
@@ -526,26 +682,57 @@ class FleetServer:
             """
             metrics.record_arrival(req.model, req.arrival_s)
             decision = self.admission.consider(req, now, now, queues, self.policy)
+            req_traced = tracer.enabled and tracer.sampled(req.request_id)
+            span_t = now_s() if tracer.enabled else 0.0
             if decision.admitted:
                 for victim in decision.evicted:
                     queues[victim.model].remove(victim)
                     state["remaining"] -= 1
-                    metrics.record_shed(victim.model, "preempted")
+                    metrics.record_shed(victim.model, "preempted", now=depth_t)
                     outcomes[victim.request_id] = ServedRequest(
                         request_id=victim.request_id, model=victim.model,
                         status="shed", shed_reason="preempted",
                         priority=victim.priority,
                         release_s=release.get(victim.request_id))
                     signal.append(victim.request_id)
+                    start = traced.pop(victim.request_id, None)
+                    if start is not None:
+                        vlane = f"req-{victim.request_id}"
+                        tracer.record("queue", "queue", start, span_t,
+                                      lane=vlane, trace_id=victim.request_id,
+                                      args={"outcome": "preempted"})
+                        tracer.record("request", "request", start, span_t,
+                                      lane=vlane, trace_id=victim.request_id,
+                                      args={"status": "shed",
+                                            "reason": "preempted",
+                                            "model": victim.model})
                 queues[req.model].push(req)
                 state["remaining"] += 1
+                if req_traced:
+                    traced[req.request_id] = span_t
             else:
-                metrics.record_shed(req.model, decision.reason)
+                metrics.record_shed(req.model, decision.reason, now=depth_t)
                 outcomes[req.request_id] = ServedRequest(
                     request_id=req.request_id, model=req.model, status="shed",
                     shed_reason=decision.reason, priority=req.priority,
                     release_s=release.get(req.request_id))
                 signal.append(req.request_id)
+            if req_traced:
+                lane = f"req-{req.request_id}"
+                tracer.record(
+                    "admission", "admission", span_t, span_t, lane=lane,
+                    trace_id=req.request_id,
+                    args={"admitted": decision.admitted,
+                          "reason": decision.reason,
+                          "predicted_ms": (decision.predicted_latency_s * 1e3
+                                           if decision.predicted_latency_s
+                                           is not None else None)})
+                if not decision.admitted:
+                    tracer.record("request", "request", span_t, span_t,
+                                  lane=lane, trace_id=req.request_id,
+                                  args={"status": "shed",
+                                        "reason": decision.reason,
+                                        "model": req.model})
             metrics.record_queue_depth(depth_t,
                                        sum(q.depth for q in queues.values()))
 
@@ -609,13 +796,45 @@ class FleetServer:
             state["remaining"] -= total
             return best_model, groups
 
-        def execute(worker_index: int, model: str, images: list[np.ndarray]):
-            """Run megabatch groups; returns (per-group codes, passes, seconds)."""
+        def execute(worker_index: int, model: str, images: list[np.ndarray],
+                    trace_batch: bool = False):
+            """Run megabatch groups; returns (per-group codes, passes, seconds).
+
+            With ``trace_batch`` the process backend ships its worker-side
+            spans back with the result (clamped into the parent-observed
+            dispatch window), and the thread backend attaches a tape sink
+            when ``telemetry.tape_spans`` asks for instruction spans.
+            """
             if proc_backend is not None:
-                return proc_backend.run(worker_index, model, images)
-            start = time.perf_counter()
-            group_outputs, executions = run_partial_groups(engines[model], images)
-            elapsed = time.perf_counter() - start
+                trace_req = None
+                if trace_batch:
+                    trace_req = {"now": now_s(),
+                                 "tape": bool(telemetry is not None
+                                              and telemetry.tape_spans)}
+                group_codes, executions, elapsed, spans = proc_backend.run(
+                    worker_index, model, images, trace=trace_req)
+                if trace_req is not None and spans:
+                    tracer.adopt(spans, clamp=(trace_req["now"], now_s()))
+                return group_codes, executions, elapsed
+            detach = None
+            if trace_batch and telemetry is not None and telemetry.tape_spans:
+                tape = self._tape_of(engines[model])
+                if tape is not None:
+                    tape_lane = f"worker-{worker_index}-tape"
+
+                    def emit(name, args, t0, t1, _lane=tape_lane):
+                        tracer.record(name, "tape", t0 - serve_origin,
+                                      t1 - serve_origin, lane=_lane, args=args)
+
+                    detach = attach_tape_sink(tape, emit)
+            try:
+                start = time.perf_counter()
+                group_outputs, executions = run_partial_groups(engines[model],
+                                                               images)
+                elapsed = time.perf_counter() - start
+            finally:
+                if detach is not None:
+                    detach()
             return [out.codes for out in group_outputs], executions, elapsed
 
         def worker(worker_index: int) -> None:
@@ -629,11 +848,15 @@ class FleetServer:
                         work_ready.wait()
                         claim = pop_work()
                 model, groups = claim
+                claim_t = now_s() if tracer.enabled else 0.0
+                batch_traced = tracer.enabled and any(
+                    req.request_id in traced for batch in groups
+                    for req in batch)
                 try:
                     images = [np.stack([r.image for r in batch])
                               for batch in groups]
                     group_codes, executions, elapsed = execute(
-                        worker_index, model, images)
+                        worker_index, model, images, batch_traced)
                 except BaseException as exc:
                     # A dead worker must not strand the fleet: surface the
                     # failure, release the model, and wake the others so
@@ -646,6 +869,15 @@ class FleetServer:
                         pacer.abort()
                     return
                 finish_wall = time.perf_counter() - serve_start
+                finish_t = now_s() if tracer.enabled else 0.0
+                if batch_traced:
+                    tracer.record(model, "batch", claim_t, finish_t,
+                                  lane=f"worker-{worker_index}",
+                                  args={"groups": len(groups),
+                                        "fills": [len(b) for b in groups],
+                                        "executions": executions,
+                                        "backend": self.backend,
+                                        "compute_ms": elapsed * 1e3})
                 done_ids: list[int] = []
                 with work_ready:
                     self.cost_model.observe(model, elapsed / max(1, executions))
@@ -657,11 +889,12 @@ class FleetServer:
                         state["batch_index"] += 1
                         fill = len(batch)
                         metrics.record_batch(model, fill, self.batch_size,
-                                             per_batch_s)
+                                             per_batch_s, now=finish_wall)
                         for offset, req in enumerate(batch):
                             latency = finish_wall - release.get(req.request_id, 0.0)
                             metrics.record_completion(model, latency,
-                                                      req.deadline_s)
+                                                      req.deadline_s,
+                                                      now=finish_wall)
                             outcomes[req.request_id] = ServedRequest(
                                 request_id=req.request_id, model=model,
                                 status="completed", latency_s=latency,
@@ -671,6 +904,27 @@ class FleetServer:
                                 priority=req.priority,
                                 release_s=release.get(req.request_id))
                             done_ids.append(req.request_id)
+                            start = traced.pop(req.request_id, None)
+                            if start is not None:
+                                lane = f"req-{req.request_id}"
+                                tracer.record("queue", "queue", start, claim_t,
+                                              lane=lane,
+                                              trace_id=req.request_id,
+                                              args={"model": model})
+                                tracer.record("execute", "execute", claim_t,
+                                              finish_t, lane=lane,
+                                              trace_id=req.request_id,
+                                              args={"model": model,
+                                                    "fill": fill,
+                                                    "batch_index": batch_index,
+                                                    "worker": worker_index,
+                                                    "backend": self.backend})
+                                tracer.record("request", "request", start,
+                                              finish_t, lane=lane,
+                                              trace_id=req.request_id,
+                                              args={"status": "completed",
+                                                    "model": model,
+                                                    "latency_ms": latency * 1e3})
                     metrics.record_queue_depth(
                         finish_wall, sum(q.depth for q in queues.values()))
                     model_busy[model] = False
@@ -722,8 +976,19 @@ class FleetServer:
             if tmpdir is not None:
                 tmpdir.cleanup()
 
-        report = metrics.report(makespan_s=makespan, workers=self.workers,
-                                execution="real")
+        report = metrics.report(
+            makespan_s=makespan, workers=self.workers, execution="real",
+            snapshot_interval_s=(telemetry.snapshot_interval_s
+                                 if telemetry is not None else None))
+        admission_after = self.admission.stats()
+        report["admission"] = {key: admission_after[key] - admission_before[key]
+                               for key in admission_after}
+        for model in self.fleet:
+            report["per_model"][model]["queue"] = queues[model].stats()
+        trace = tracer.finish({
+            "execution": "real", "backend": self.backend,
+            "pacing": pacing_name, "workers": self.workers,
+            "sample_rate": telemetry.sample_rate if telemetry else 0.0})
         return FleetReport(
             policy=self.policy.describe(),
             outcomes=[outcomes[rid] for rid in sorted(outcomes)],
@@ -735,4 +1000,5 @@ class FleetServer:
             execution="real",
             backend=self.backend,
             pacing=pacing_name,
+            trace=trace,
         )

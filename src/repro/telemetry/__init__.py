@@ -1,0 +1,56 @@
+"""Zero-dependency tracing + metrics export for the serving fleet.
+
+Three pieces:
+
+* :mod:`repro.telemetry.trace` — request-scoped spans with deterministic
+  head-based sampling (:class:`TelemetryConfig`), a thread-safe
+  :class:`Tracer` (and the zero-cost :data:`NULL_TRACER` used when
+  telemetry is off), and the opt-in per-instruction tape hook
+  (:func:`attach_tape_sink`).  Worker processes buffer spans locally and
+  ship them back clock-offset-aligned (:meth:`Tracer.adopt`).
+* :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON
+  (Perfetto-loadable) and Prometheus text exposition of fleet counters,
+  gauges and the engine's pipeline work counters.
+* :mod:`repro.telemetry.snapshot` — the periodic time-series reduction
+  (arrivals/goodput/shed/queue depth/utilization per interval) embedded
+  in every metrics report.
+
+Enable tracing per server or per serve call::
+
+    from repro.telemetry import TelemetryConfig
+    report = server.serve(requests, telemetry=TelemetryConfig(sample_rate=1.0))
+    report.save_trace("trace.json")     # open in https://ui.perfetto.dev
+    print(report.prometheus())          # text exposition of the metrics
+"""
+
+from .export import chrome_trace, prometheus_text, write_chrome_trace
+from .snapshot import DEFAULT_BUCKETS, MAX_BUCKETS, build_timeseries
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TelemetryConfig,
+    Trace,
+    Tracer,
+    attach_tape_sink,
+    sample_hash,
+    tape_span_args,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Trace",
+    "sample_hash",
+    "tape_span_args",
+    "attach_tape_sink",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "build_timeseries",
+    "DEFAULT_BUCKETS",
+    "MAX_BUCKETS",
+]

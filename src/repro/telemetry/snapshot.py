@@ -1,0 +1,121 @@
+"""Interval time-series reduction of serving events.
+
+The original ``MetricsCollector`` timeline was a stride-downsampled list of
+raw queue-depth samples — enough to eyeball backlog, blind to everything
+else.  :func:`build_timeseries` replaces it with a periodic snapshotter:
+the run is cut into fixed intervals and each bucket reports arrivals,
+completions, sheds, goodput, shed rate, queue depth (a forward-filled step
+function over the depth samples) and worker utilization.  Queueing
+collapse — e.g. an open-loop sweep offered beyond capacity — shows up as
+monotone queue-depth growth with flat goodput, per interval, instead of a
+single end-of-run average.
+
+The reduction is clock-agnostic: it buckets whatever event timestamps the
+collector recorded (virtual seconds or wall-clock offsets from serve
+start).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["build_timeseries", "DEFAULT_BUCKETS", "MAX_BUCKETS"]
+
+#: bucket count when no explicit interval is configured
+DEFAULT_BUCKETS = 60
+#: hard cap on buckets regardless of the configured interval
+MAX_BUCKETS = 240
+
+
+def build_timeseries(*, makespan_s: float, workers: int = 1,
+                     arrivals=(), completions=(), sheds=(), batches=(),
+                     depth_samples=(), interval_s: float | None = None) -> dict:
+    """Reduce timestamped serve events into a fixed-interval time-series.
+
+    ``arrivals``/``completions``/``sheds`` are event-time lists;
+    ``batches`` is ``(finish_t, compute_s)`` pairs (compute is credited to
+    the finishing bucket); ``depth_samples`` is ``(t, depth)`` pairs in
+    record order.  ``interval_s=None`` picks ``makespan / DEFAULT_BUCKETS``;
+    an explicit interval is honoured unless it would exceed
+    ``MAX_BUCKETS`` buckets, in which case the interval is widened to fit
+    (the cap keeps reports bounded for arbitrarily long runs).
+
+    A zero-makespan run (or one with no timestamped events) degenerates to
+    a single bucket with zero rates — finite output for every input.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    event_max = 0.0
+    for times in (arrivals, completions, sheds):
+        for t in times:
+            event_max = max(event_max, t)
+    for t, _ in batches:
+        event_max = max(event_max, t)
+    for t, _ in depth_samples:
+        event_max = max(event_max, t)
+    horizon = max(float(makespan_s), event_max)
+
+    if horizon <= 0.0:
+        depth = depth_samples[-1][1] if depth_samples else 0
+        return {
+            "interval_s": 0.0,
+            "t_s": [0.0],
+            "arrivals": [len(list(arrivals))],
+            "completed": [len(list(completions))],
+            "shed": [len(list(sheds))],
+            "goodput_rps": [0.0],
+            "shed_rate": [0.0],
+            "queue_depth": [int(depth)],
+            "utilization": [0.0],
+            "workers": int(workers),
+        }
+
+    if interval_s is None:
+        buckets = DEFAULT_BUCKETS
+        interval_s = horizon / buckets
+    else:
+        buckets = max(1, math.ceil(horizon / interval_s - 1e-9))
+        if buckets > MAX_BUCKETS:
+            buckets = MAX_BUCKETS
+            interval_s = horizon / buckets
+
+    def bucket(t: float) -> int:
+        return min(buckets - 1, max(0, int(t / interval_s)))
+
+    arrived = [0] * buckets
+    completed = [0] * buckets
+    shed = [0] * buckets
+    busy_s = [0.0] * buckets
+    for t in arrivals:
+        arrived[bucket(t)] += 1
+    for t in completions:
+        completed[bucket(t)] += 1
+    for t in sheds:
+        shed[bucket(t)] += 1
+    for t, compute_s in batches:
+        busy_s[bucket(t)] += compute_s
+
+    # Queue depth is a step function: the last sample at or before each
+    # bucket's end, forward-filled (0 before the first sample).
+    depth_series = [0] * buckets
+    ordered = sorted(depth_samples, key=lambda pair: pair[0])
+    cursor, current = 0, 0
+    for index in range(buckets):
+        edge = (index + 1) * interval_s
+        while cursor < len(ordered) and ordered[cursor][0] <= edge:
+            current = ordered[cursor][1]
+            cursor += 1
+        depth_series[index] = int(current)
+
+    return {
+        "interval_s": interval_s,
+        "t_s": [round((index + 1) * interval_s, 6) for index in range(buckets)],
+        "arrivals": arrived,
+        "completed": completed,
+        "shed": shed,
+        "goodput_rps": [count / interval_s for count in completed],
+        "shed_rate": [s / a if a else 0.0 for s, a in zip(shed, arrived)],
+        "queue_depth": depth_series,
+        "utilization": [min(1.0, b / (workers * interval_s)) for b in busy_s],
+        "workers": int(workers),
+    }

@@ -1,0 +1,127 @@
+"""MetricsCollector edge cases: timeline endpoints, degenerate streams,
+single-arrival rates, megabatch counters and the interval time-series."""
+
+import pytest
+
+from repro.serving import MetricsCollector
+from repro.telemetry.snapshot import DEFAULT_BUCKETS, MAX_BUCKETS, build_timeseries
+
+
+# ---------------------------------------------------------------------- #
+# Timeline downsampling
+# ---------------------------------------------------------------------- #
+def test_timeline_keeps_the_final_sample_under_striding():
+    collector = MetricsCollector(["a"])
+    n = 1001                      # stride 5 would drop index 1000 if unpatched
+    for i in range(n):
+        collector.record_queue_depth(float(i), i % 7)
+    timeline = collector.report(makespan_s=float(n))["queue_depth"]
+    assert timeline["t_s"][-1] == pytest.approx(float(n - 1))
+    assert timeline["depth"][-1] == (n - 1) % 7
+    assert len(timeline["t_s"]) == len(timeline["depth"])
+
+
+def test_timeline_unstrided_stream_is_kept_verbatim():
+    collector = MetricsCollector(["a"])
+    for i in range(5):
+        collector.record_queue_depth(float(i), i)
+    timeline = collector.report(makespan_s=5.0)["queue_depth"]
+    assert timeline["t_s"] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert timeline["depth"] == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------- #
+# Degenerate streams
+# ---------------------------------------------------------------------- #
+def test_single_arrival_offered_rps_falls_back_to_makespan():
+    collector = MetricsCollector(["a"])
+    collector.record_arrival("a", 0.0)
+    collector.record_completion("a", 0.25, now=0.25)
+    report = collector.report(makespan_s=0.5)
+    assert report["fleet"]["offered_rps"] == pytest.approx(2.0)  # 1 req / 0.5 s
+
+
+def test_zero_makespan_run_reports_finite_zeros():
+    collector = MetricsCollector(["a"])
+    report = collector.report(makespan_s=0.0)
+    fleet = report["fleet"]
+    assert fleet["offered_rps"] == 0.0
+    assert fleet["goodput_rps"] == 0.0
+    assert fleet["utilization"] == 0.0
+    series = report["timeseries"]
+    assert series["interval_s"] == 0.0
+    assert series["goodput_rps"] == [0.0]
+
+
+def test_shed_only_model_reports_zero_goodput_and_full_shed_rate():
+    collector = MetricsCollector(["a"])
+    for t in (0.0, 0.1, 0.2):
+        collector.record_arrival("a", t)
+        collector.record_shed("a", "queue_full", now=t)
+    report = collector.report(makespan_s=1.0)
+    assert report["fleet"]["completed"] == 0
+    assert report["fleet"]["shed_rate"] == 1.0
+    assert report["fleet"]["slo_attainment"] is None
+    assert report["per_model"]["a"]["shed"] == {"queue_full": 3}
+    assert report["per_model"]["a"]["latency_ms"]["count"] == 0
+
+
+def test_megabatch_counters_accumulate_saved_executions():
+    collector = MetricsCollector(["a"])
+    collector.record_megabatch("a", packed_batches=3)
+    collector.record_megabatch("a", packed_batches=2)
+    stats = collector.report(makespan_s=1.0)["per_model"]["a"]
+    assert stats["megabatch_batches"] == 5
+    assert stats["megabatch_saved_executions"] == 3
+
+
+# ---------------------------------------------------------------------- #
+# Interval time-series
+# ---------------------------------------------------------------------- #
+def test_timeseries_buckets_are_consistent_with_totals():
+    collector = MetricsCollector(["a"])
+    for i in range(10):
+        t = i * 0.1
+        collector.record_arrival("a", t)
+        collector.record_queue_depth(t, i % 3)
+    for i in range(8):
+        collector.record_completion("a", 0.05, now=0.2 + i * 0.1)
+    collector.record_shed("a", "slo", now=0.15)
+    collector.record_shed("a", "slo", now=0.95)
+    collector.record_batch("a", fill=4, batch_size=4, compute_s=0.1, now=0.5)
+    report = collector.report(makespan_s=1.0, workers=2,
+                              snapshot_interval_s=0.25)
+    series = report["timeseries"]
+    assert series["interval_s"] == pytest.approx(0.25)
+    assert sum(series["arrivals"]) == 10
+    assert sum(series["completed"]) == 8
+    assert sum(series["shed"]) == 2
+    assert series["workers"] == 2
+    # goodput per bucket = completed / interval
+    for done, rate in zip(series["completed"], series["goodput_rps"]):
+        assert rate == pytest.approx(done / 0.25)
+    assert all(0.0 <= u <= 1.0 for u in series["utilization"])
+    # queue depth forward-fills the last sample at or before each bucket edge
+    assert len(series["queue_depth"]) == len(series["t_s"])
+
+
+def test_timeseries_auto_interval_and_bucket_cap():
+    auto = build_timeseries(makespan_s=6.0, arrivals=[0.0, 3.0, 5.9])
+    assert len(auto["t_s"]) == DEFAULT_BUCKETS
+    capped = build_timeseries(makespan_s=100.0, arrivals=[0.0, 99.0],
+                              interval_s=0.01)       # would be 10_000 buckets
+    assert len(capped["t_s"]) <= MAX_BUCKETS
+    assert sum(capped["arrivals"]) == 2
+
+
+def test_timeseries_events_beyond_makespan_extend_the_horizon():
+    series = build_timeseries(makespan_s=1.0, arrivals=[0.0, 2.0],
+                              completions=[2.5])
+    assert series["t_s"][-1] >= 2.5
+    assert sum(series["arrivals"]) == 2
+    assert sum(series["completed"]) == 1
+
+
+def test_timeseries_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        build_timeseries(makespan_s=1.0, workers=0)
