@@ -43,6 +43,9 @@ P99_IMPROVEMENT_FLOOR = 5.0     # the serving bench already asserts > 5x
 #: noisy shared runners)
 TELEMETRY_OVERHEAD_MAX_PCT = float(
     os.environ.get("TELEMETRY_OVERHEAD_MAX_PCT", "2"))
+#: chaos goodput floor: the deterministic virtual chaos run must retain at
+#: least this fraction of fault-free completions (ISSUE gate, env-overridable)
+FAULTS_MIN_RETAINED = float(os.environ.get("FAULTS_MIN_RETAINED", "0.7"))
 
 
 @dataclass(frozen=True)
@@ -68,7 +71,8 @@ def _load(path: Path) -> dict:
 
 
 def extract_metrics(serving: dict, overhead: dict,
-                    telemetry: dict | None = None) -> list[Metric]:
+                    telemetry: dict | None = None,
+                    faults: dict | None = None) -> list[Metric]:
     """Pull the gated numbers out of the BENCH payloads."""
     try:
         wall = serving["wall_clock"]
@@ -93,6 +97,15 @@ def extract_metrics(serving: dict, overhead: dict,
                 float(telemetry["disabled_relative_throughput"]),
                 wall_clock=True,
                 floor=1.0 - TELEMETRY_OVERHEAD_MAX_PCT / 100.0))
+        if faults is not None:
+            metrics.append(Metric(
+                "faults.goodput_retained",
+                float(faults["virtual"]["goodput_retained"]),
+                floor=FAULTS_MIN_RETAINED))
+            metrics.append(Metric(
+                "faults.process_goodput_rps",
+                float(faults["process_chaos"]["goodput_rps"]),
+                wall_clock=True))
     except KeyError as exc:
         print(f"error: BENCH payload is missing expected key {exc} — "
               f"schema drift? update this script and the baselines together",
@@ -137,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
                         default=REPO_ROOT / "BENCH_overhead.json")
     parser.add_argument("--telemetry", type=Path,
                         default=REPO_ROOT / "BENCH_telemetry.json")
+    parser.add_argument("--faults", type=Path,
+                        default=REPO_ROOT / "BENCH_faults.json")
     parser.add_argument("--baselines", type=Path, default=BASELINE_PATH)
     parser.add_argument("--tolerance", type=float,
                         default=float(os.environ.get("BENCH_REGRESSION_TOL",
@@ -150,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
 
     wall_tolerance = float(os.environ.get("BENCH_WALL_TOL", args.tolerance))
     metrics = extract_metrics(_load(args.serving), _load(args.overhead),
-                              _load(args.telemetry))
+                              _load(args.telemetry), _load(args.faults))
 
     if args.update_baselines:
         args.baselines.parent.mkdir(parents=True, exist_ok=True)

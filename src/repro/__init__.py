@@ -14,6 +14,9 @@ Sub-packages
                     serving runner, bit-exactness parity checks.
 ``repro.serving``   Multi-model fleet server: dynamic batching, LRU plan cache,
                     SLO admission control, workload scenarios, serving metrics.
+``repro.faults``    Deterministic fault injection (seeded crash/hang/error
+                    schedules), retry/supervision policies and per-model
+                    circuit breakers for the fleet.
 ``repro.telemetry`` Request-scoped tracing (Chrome trace-event export),
                     tape-level profiling spans, Prometheus text exposition and
                     the metrics time-series reduction.
@@ -28,9 +31,9 @@ Sub-packages
 """
 
 from . import autograd, nn, optim, quant, graph, engine, models, serving, data, training, analysis
-from . import deploy, telemetry
+from . import deploy, faults, telemetry
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "autograd",
@@ -42,6 +45,7 @@ __all__ = [
     "models",
     "serving",
     "deploy",
+    "faults",
     "telemetry",
     "data",
     "training",

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
 from ..quant.config import LayerPrecision
+from ..faults import BreakerPolicy, FaultPlan, RetryPolicy
 from ..telemetry.trace import TelemetryConfig
 
 __all__ = ["QuantConfig", "RuntimeConfig", "CompileConfig", "ServeConfig"]
@@ -200,6 +201,11 @@ class ServeConfig:
     warm: bool = True
     #: request-span tracing + metrics time-series knobs (None -> telemetry off)
     telemetry: TelemetryConfig | None = None
+    #: fault plane (see :mod:`repro.faults`): a deterministic injection
+    #: schedule, the retry/supervision policy, and per-model circuit breaking
+    faults: "FaultPlan | None" = None
+    retry: "RetryPolicy | None" = None
+    breaker: "BreakerPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.max_batch is not None and self.max_batch < 1:
@@ -220,4 +226,10 @@ class ServeConfig:
         data["fleet"] = list(self.fleet)
         if self.artifact_dir is not None:
             data["artifact_dir"] = str(self.artifact_dir)
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        if self.retry is not None:
+            data["retry"] = self.retry.to_dict()
+        if self.breaker is not None:
+            data["breaker"] = self.breaker.to_dict()
         return data

@@ -328,6 +328,9 @@ class Deployment:
             execution=serve.execution,
             backend=serve.backend,
             telemetry=serve.telemetry,
+            faults=serve.faults,
+            retry=serve.retry,
+            breaker=serve.breaker,
         )
         server.cache.put(self.model, self)
         for deployment in preload:

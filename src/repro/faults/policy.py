@@ -1,0 +1,233 @@
+"""Request-level resilience: retry policy and per-model circuit breakers.
+
+:class:`RetryPolicy` bounds how hard the fleet fights for one request
+(attempts, backoff, an end-to-end deadline) and how hard it fights for one
+worker (bounded respawns with exponential backoff, a per-task recv
+deadline, a degradation threshold).  :class:`CircuitBreaker` is the
+fleet-level complement: a per-model rolling failure-rate window that stops
+*queueing into* a sick model — requests shed fast at admission (reason
+``"breaker"``) instead of piling onto an engine that keeps failing, and a
+half-open probe lets the model earn its way back.
+
+Both are deliberately clock-agnostic: every method takes ``now`` explicitly,
+so the same objects drive the virtual discrete-event loop and wall-clock
+serving and chaos runs stay deterministic on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+
+__all__ = ["RetryPolicy", "BreakerPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fleet retries failed work and supervises failed workers.
+
+    ``max_attempts`` counts *total* executions of a request (1 = never
+    retry); a batch failure requeues its requests until their attempts or
+    the ``deadline_ms`` budget (measured from arrival) run out, after which
+    the request terminates with status ``"failed"``.  ``backoff_s`` (scaled
+    by ``backoff_multiplier`` per consecutive failure of the same model)
+    holds the model's queue back before the next attempt.
+
+    Supervision knobs: ``task_timeout_s`` is the per-task recv deadline on
+    the process backend (a hung worker trips :class:`WorkerTimeout` instead
+    of blocking forever); ``max_respawns`` / ``respawn_backoff_s`` bound
+    how often a crashed worker process is rebuilt; after ``degrade_after``
+    consecutive process-backend failures on one model (or an exhausted
+    respawn budget) the fleet falls back to in-process thread execution for
+    that model and records the downgrade.
+    """
+
+    max_attempts: int = 2
+    backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    deadline_ms: float | None = None
+    task_timeout_s: float = 30.0
+    max_respawns: int = 2
+    respawn_backoff_s: float = 0.05
+    degrade_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(f"backoff_multiplier must be >= 1, "
+                             f"got {self.backoff_multiplier}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be > 0, "
+                             f"got {self.task_timeout_s}")
+        if self.max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {self.max_respawns}")
+        if self.respawn_backoff_s < 0:
+            raise ValueError(f"respawn_backoff_s must be >= 0, "
+                             f"got {self.respawn_backoff_s}")
+        if self.degrade_after < 1:
+            raise ValueError(f"degrade_after must be >= 1, got {self.degrade_after}")
+
+    def attempt_backoff_s(self, consecutive_failures: int) -> float:
+        """Queue hold-back before the next attempt of a failing model."""
+        if self.backoff_s == 0.0 or consecutive_failures <= 0:
+            return 0.0
+        return self.backoff_s * self.backoff_multiplier ** (consecutive_failures - 1)
+
+    def exhausted(self, attempts: int, age_s: float) -> bool:
+        """True when a request with ``attempts`` executions ``age_s`` after
+        arrival must terminate as failed instead of retrying."""
+        if attempts >= self.max_attempts:
+            return True
+        return self.deadline_ms is not None and age_s * 1e3 > self.deadline_ms
+
+    def to_dict(self) -> dict:
+        return {"max_attempts": self.max_attempts,
+                "backoff_s": self.backoff_s,
+                "backoff_multiplier": self.backoff_multiplier,
+                "deadline_ms": self.deadline_ms,
+                "task_timeout_s": self.task_timeout_s,
+                "max_respawns": self.max_respawns,
+                "respawn_backoff_s": self.respawn_backoff_s,
+                "degrade_after": self.degrade_after}
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Rolling-window failure-rate thresholds for :class:`CircuitBreaker`."""
+
+    window: int = 16            # batch outcomes kept per model
+    failure_threshold: float = 0.5
+    min_samples: int = 4        # outcomes required before the breaker can open
+    cooldown_s: float = 0.25    # open -> half-open delay
+    half_open_probes: int = 1   # successes required to close from half-open
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError(f"failure_threshold must be in (0, 1], "
+                             f"got {self.failure_threshold}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, "
+                             f"got {self.half_open_probes}")
+
+    def to_dict(self) -> dict:
+        return {"window": self.window,
+                "failure_threshold": self.failure_threshold,
+                "min_samples": self.min_samples,
+                "cooldown_s": self.cooldown_s,
+                "half_open_probes": self.half_open_probes}
+
+
+class _ModelBreaker:
+    """Per-model state machine: closed -> open -> half-open -> closed."""
+
+    __slots__ = ("state", "outcomes", "opened_at", "probe_successes",
+                 "opens", "shed_fast", "transitions")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.outcomes: list[bool] = []    # rolling window, True = success
+        self.opened_at = 0.0
+        self.probe_successes = 0
+        self.opens = 0
+        self.shed_fast = 0
+        self.transitions: list[tuple[float, str, str]] = []
+
+    def _move(self, now: float, state: str) -> None:
+        self.transitions.append((round(float(now), 6), self.state, state))
+        self.state = state
+
+
+class CircuitBreaker:
+    """Per-model circuit breakers over a rolling batch-outcome window.
+
+    ``allow(model, now)`` gates admission: closed always admits; open sheds
+    fast until ``cooldown_s`` has passed, then moves to half-open, which
+    admits probe traffic.  ``record(model, ok, now)`` feeds batch outcomes:
+    in half-open, one failure re-opens, ``half_open_probes`` successes
+    close; in closed, the breaker opens when the rolling window holds at
+    least ``min_samples`` outcomes with a failure rate at or above
+    ``failure_threshold``.  All methods are thread-safe and clock-agnostic.
+    """
+
+    def __init__(self, policy: BreakerPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._models: dict[str, _ModelBreaker] = {}
+        self._lock = Lock()
+
+    def _state(self, model: str) -> _ModelBreaker:
+        breaker = self._models.get(model)
+        if breaker is None:
+            breaker = self._models[model] = _ModelBreaker()
+        return breaker
+
+    def allow(self, model: str, now: float) -> bool:
+        with self._lock:
+            breaker = self._state(model)
+            if breaker.state == "open":
+                if now - breaker.opened_at >= self.policy.cooldown_s:
+                    breaker._move(now, "half_open")
+                    breaker.probe_successes = 0
+                    return True
+                breaker.shed_fast += 1
+                return False
+            return True
+
+    def record(self, model: str, ok: bool, now: float) -> None:
+        with self._lock:
+            breaker = self._state(model)
+            breaker.outcomes.append(bool(ok))
+            if len(breaker.outcomes) > self.policy.window:
+                del breaker.outcomes[:-self.policy.window]
+            if breaker.state == "half_open":
+                if ok:
+                    breaker.probe_successes += 1
+                    if breaker.probe_successes >= self.policy.half_open_probes:
+                        breaker._move(now, "closed")
+                        breaker.outcomes.clear()
+                else:
+                    breaker._move(now, "open")
+                    breaker.opened_at = now
+                    breaker.opens += 1
+                return
+            if breaker.state == "closed" and not ok:
+                window = breaker.outcomes
+                failures = window.count(False)
+                if (len(window) >= self.policy.min_samples
+                        and failures / len(window)
+                        >= self.policy.failure_threshold):
+                    breaker._move(now, "open")
+                    breaker.opened_at = now
+                    breaker.opens += 1
+
+    def state(self, model: str) -> str:
+        with self._lock:
+            breaker = self._models.get(model)
+            return breaker.state if breaker is not None else "closed"
+
+    def snapshot(self) -> dict:
+        """JSON-serializable per-model breaker state for the serving report."""
+        with self._lock:
+            return {
+                "policy": self.policy.to_dict(),
+                "models": {
+                    model: {
+                        "state": breaker.state,
+                        "opens": breaker.opens,
+                        "shed_fast": breaker.shed_fast,
+                        "window": list(breaker.outcomes),
+                        "transitions": [list(t) for t in breaker.transitions],
+                    }
+                    for model, breaker in sorted(self._models.items())
+                },
+            }

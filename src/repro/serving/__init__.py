@@ -18,6 +18,16 @@ tracing rides along: serve with ``telemetry=TelemetryConfig(sample_rate=...)``
 Chrome-trace-exportable :class:`~repro.telemetry.Trace`.
 """
 
+from ..faults import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from ..telemetry.trace import TelemetryConfig
 from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy, EwmaCostModel
 from .batcher import BatchingPolicy, DynamicBatcher
@@ -55,6 +65,14 @@ __all__ = [
     "FleetServer",
     "ServedRequest",
     "TelemetryConfig",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
+    "RetryPolicy",
+    "WorkerCrashed",
+    "WorkerTimeout",
     "SCENARIOS",
     "ClosedLoopPacer",
     "OpenLoopPacer",

@@ -69,6 +69,7 @@ class PlanCache:
         self.disk_hits = 0
         self.disk_stores = 0
         self.disk_errors = 0
+        self.disk_quarantined = 0
         self.disk_evictions = 0
         self.compile_s: dict[str, float] = {}   # last compile wall time per model
         self.total_compile_s = 0.0
@@ -96,6 +97,17 @@ class PlanCache:
         """Resident entry or ``None`` — no LRU reorder, no counter updates."""
         return self._entries.get(name)
 
+    def evict(self, name: str) -> bool:
+        """Drop one resident entry (no recompile accounting); True if held.
+
+        Used by fault injection to force the next :meth:`get` through the
+        disk tier; a production cache would call it on memory pressure.
+        """
+        if name in self._entries:
+            del self._entries[name]
+            return True
+        return False
+
     def put(self, name: str, entry: object) -> None:
         """Seed a precompiled entry (e.g. a warm deployment), evicting LRU.
 
@@ -122,10 +134,23 @@ class PlanCache:
         from ..deploy import ArtifactError, Deployment
         try:
             entry = Deployment.load(path)
-        except (ArtifactError, OSError):
-            # Corrupt/stale artifact or plain I/O failure (permissions, a
-            # cleanup racing the exists() check): fall through to a fresh
-            # compile — the disk tier must never make serving *fail*.
+        except ArtifactError:
+            # Corrupt/stale artifact: quarantine it aside so the same bad
+            # file isn't re-read (and re-failed) on every future miss — the
+            # fresh compile below re-stores a good artifact at the live
+            # path.  ``.corrupt`` doesn't match the tier's glob, so GC and
+            # future loads ignore it; it stays on disk for post-mortems.
+            self.disk_errors += 1
+            try:
+                path.replace(path.with_name(path.name + ".corrupt"))
+                self.disk_quarantined += 1
+            except OSError:
+                pass
+            return None
+        except OSError:
+            # Plain I/O failure (permissions, a cleanup racing the exists()
+            # check): fall through to a fresh compile — the disk tier must
+            # never make serving *fail*.
             self.disk_errors += 1
             return None
         self.disk_hits += 1
@@ -223,6 +248,7 @@ class PlanCache:
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_errors": self.disk_errors,
+            "disk_quarantined": self.disk_quarantined,
             "disk_evictions": self.disk_evictions,
             "disk_max_bytes": self.disk_max_bytes,
             "artifact_dir": str(self.artifact_dir) if self.artifact_dir else None,

@@ -65,10 +65,18 @@ class ModelStats:
     #: pass, and how many extra passes the packing saved
     megabatch_batches: int = 0
     megabatch_saved_executions: int = 0
+    #: fault plane: requests that terminated as failed (by fault kind) and
+    #: retry attempts the resilience policy spent on this model
+    failed: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
 
     @property
     def shed_total(self) -> int:
         return sum(self.shed.values())
+
+    @property
+    def failed_total(self) -> int:
+        return sum(self.failed.values())
 
     def to_dict(self) -> dict:
         deadline_pop = self.slo_met + self.slo_missed
@@ -77,6 +85,9 @@ class ModelStats:
             "completed": self.completed,
             "shed": dict(self.shed),
             "shed_total": self.shed_total,
+            "failed": dict(self.failed),
+            "failed_total": self.failed_total,
+            "retries": self.retries,
             "slo_attainment": self.slo_met / deadline_pop if deadline_pop else None,
             "latency_ms": percentiles_ms(self.latencies_s),
             "batches": self.batches,
@@ -116,6 +127,23 @@ class MetricsCollector:
                     now: float | None = None) -> None:
         shed = self.per_model[model].shed
         shed[reason] = shed.get(reason, 0) + 1
+        if now is not None:
+            self._shed_t.append(now)
+
+    def record_retry(self, model: str) -> None:
+        """One retry attempt spent on a request of ``model``."""
+        self.per_model[model].retries += 1
+
+    def record_failed(self, model: str, reason: str,
+                      now: float | None = None) -> None:
+        """A request terminated as failed (retries/deadline exhausted).
+
+        Failed requests are neither completions nor sheds: they were
+        admitted, consumed attempts, and still produced no codes — the
+        report's ``fleet.failed`` counter keeps the three disjoint.
+        """
+        failed = self.per_model[model].failed
+        failed[reason] = failed.get(reason, 0) + 1
         if now is not None:
             self._shed_t.append(now)
 
@@ -201,6 +229,8 @@ class MetricsCollector:
         arrivals = sum(s.arrivals for s in self.per_model.values())
         completed = sum(s.completed for s in self.per_model.values())
         shed = sum(s.shed_total for s in self.per_model.values())
+        failed = sum(s.failed_total for s in self.per_model.values())
+        retries = sum(s.retries for s in self.per_model.values())
         slo_met = sum(s.slo_met for s in self.per_model.values())
         deadline_pop = slo_met + sum(s.slo_missed for s in self.per_model.values())
         all_latencies = [lat for s in self.per_model.values() for lat in s.latencies_s]
@@ -221,6 +251,8 @@ class MetricsCollector:
                 "completed": completed,
                 "shed": shed,
                 "shed_rate": shed / arrivals if arrivals else 0.0,
+                "failed": failed,
+                "retries": retries,
                 "slo_attainment": slo_met / deadline_pop if deadline_pop else None,
                 "offered_rps": offered_rps,
                 "goodput_rps": completed / makespan_s if makespan_s else 0.0,

@@ -25,6 +25,16 @@ Design points:
 * **Spawn context by default.**  ``fork`` would duplicate the parent's BLAS
   state and compiled engines into every worker; ``spawn`` keeps workers
   minimal and portable (and is the only start method on some platforms).
+* **Supervised recv.**  ``run()`` never blocks forever: the result recv
+  polls with a per-task deadline (``task_timeout_s``) and checks
+  ``Process.is_alive()`` between polls, raising typed
+  :class:`~repro.faults.WorkerCrashed` / :class:`~repro.faults.WorkerTimeout`
+  errors the server's supervisor can recover from.  :meth:`respawn`
+  rebuilds a dead worker — bounded attempts with exponential backoff,
+  engines re-bootstrapped from the same artifacts, the *same* parent-owned
+  arenas re-attached — and offsets the replacement's fault-injection task
+  counter so consumed :class:`~repro.faults.FaultPlan` events never
+  re-fire.
 
 The backend is deliberately synchronous per worker — ``run(worker_index,
 ...)`` blocks until that worker's result returns — because the
@@ -36,20 +46,29 @@ holding the GIL.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
 import time
 from typing import Sequence
 
 import numpy as np
+
+from ..faults import FaultPlan, RespawnExhausted, TaskFailed, WorkerCrashed, WorkerTimeout
 
 __all__ = ["ProcessFleetBackend"]
 
 #: bytes per staged element — images stage as float64, codes as int64
 _ITEMSIZE = 8
 
+#: seconds between result-queue polls while waiting on a worker; bounds how
+#: fast a crash is noticed without busy-waiting
+_POLL_S = 0.05
+
 
 def _worker_main(worker_index: int, artifact_paths: dict[str, str],
                  specs: dict[str, dict], in_name: str, out_name: str,
-                 task_queue, result_queue) -> None:
+                 task_queue, result_queue, faults: FaultPlan | None = None,
+                 task_offset: int = 0) -> None:
     """Worker-process entry point: bootstrap engines, then serve tasks.
 
     Protocol (task queue): ``("run", task_id, model, fills, trace)`` — the
@@ -63,14 +82,23 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
     :meth:`repro.telemetry.Span.to_tuple`) back in ``spans`` — a worker-lane
     execute span, plus per-instruction tape spans when ``tape`` is set and
     the engine runs in tape mode.  ``("stop",)`` exits.  Any failure replies
-    ``("error", task_id_or_None, message)``; bootstrap failures carry
-    ``task_id=None``.
+    ``("error", task_id_or_None, message, reason)``; bootstrap failures
+    carry ``task_id=None`` and ``reason="bootstrap"``.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`; the worker
+    builds its own injector over it, pre-advanced by ``task_offset`` (the
+    number of tasks a previous incarnation of this worker slot already
+    executed), and applies matching events *in-process*: ``worker_crash``
+    hard-exits, ``task_hang``/``slow_task`` stall, ``task_error`` replies
+    with a typed error — exactly the failure modes a real fleet sees.
     """
     from multiprocessing import shared_memory
 
     from ..engine.parallel import bootstrap_process_engines
     from ..engine.runner import run_partial_groups
 
+    injector = (faults.injector(worker=worker_index, task_offset=task_offset)
+                if faults is not None else None)
     try:
         # Attaching registers the segments with the resource tracker again;
         # spawn children share the parent's tracker process, where register
@@ -82,7 +110,7 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
         result_queue.put(("ready", worker_index, sorted(engines)))
     except BaseException as exc:  # noqa: BLE001 - must cross the process edge
         result_queue.put(("error", None, f"worker {worker_index} bootstrap "
-                                         f"failed: {exc!r}"))
+                                         f"failed: {exc!r}", "bootstrap"))
         return
     try:
         while True:
@@ -91,6 +119,20 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
                 return
             _, task_id, model, fills, trace = message
             try:
+                event = (injector.poll(worker_index, model)
+                         if injector is not None else None)
+                if event is not None:
+                    if event.kind == "worker_crash":
+                        # A real crash: no reply, no cleanup, nonzero exit.
+                        os._exit(3)
+                    if event.kind in ("task_hang", "slow_task"):
+                        time.sleep(event.duration_s)
+                    if event.kind == "task_error":
+                        result_queue.put((
+                            "error", task_id,
+                            f"worker {worker_index} task {task_id} on "
+                            f"{model!r}: injected task_error", "task_error"))
+                        continue
                 engine = engines[model]
                 sample_shape = tuple(specs[model]["input_shape"][1:])
                 total = int(sum(fills))
@@ -142,7 +184,7 @@ def _worker_main(worker_index: int, artifact_paths: dict[str, str],
             except BaseException as exc:  # noqa: BLE001
                 result_queue.put(("error", task_id,
                                   f"worker {worker_index} task {task_id} on "
-                                  f"{model!r} failed: {exc!r}"))
+                                  f"{model!r} failed: {exc!r}", "task"))
     finally:
         in_shm.close()
         out_shm.close()
@@ -156,13 +198,27 @@ class ProcessFleetBackend:
     are the max over the fleet, so one pair of arenas per worker serves
     every model.  ``artifact_paths`` maps each model to the ``.rpa`` plan
     artifact its per-process engine bootstraps from.
+
+    ``task_timeout_s`` is the default per-task recv deadline (override per
+    call via ``run(..., timeout_s=...)``); ``faults`` threads a
+    :class:`~repro.faults.FaultPlan` into every worker; ``max_respawns`` /
+    ``respawn_backoff_s`` bound :meth:`respawn`.
     """
 
     def __init__(self, specs: dict[str, dict], artifact_paths: dict[str, str],
                  *, workers: int, mp_context: str = "spawn",
-                 start_timeout_s: float = 120.0) -> None:
+                 start_timeout_s: float = 120.0,
+                 task_timeout_s: float = 60.0,
+                 faults: FaultPlan | None = None,
+                 max_respawns: int = 2,
+                 respawn_backoff_s: float = 0.05,
+                 respawn_backoff_max_s: float = 2.0) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be > 0, got {task_timeout_s}")
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
         missing = sorted(set(specs) - set(artifact_paths))
         if missing:
             raise ValueError(f"no artifact path for models {missing}")
@@ -170,6 +226,11 @@ class ProcessFleetBackend:
         self.artifact_paths = dict(artifact_paths)
         self.workers = int(workers)
         self.start_timeout_s = float(start_timeout_s)
+        self.task_timeout_s = float(task_timeout_s)
+        self.faults = faults
+        self.max_respawns = int(max_respawns)
+        self.respawn_backoff_s = float(respawn_backoff_s)
+        self.respawn_backoff_max_s = float(respawn_backoff_max_s)
         self._ctx = mp.get_context(mp_context)
         self._in_bytes = max(
             int(np.prod(spec["input_shape"])) * _ITEMSIZE
@@ -179,14 +240,42 @@ class ProcessFleetBackend:
             for spec in self.specs.values())
         self._in_shms: list = []
         self._out_shms: list = []
-        self._task_queues: list = []
-        self._result_queues: list = []
-        self._processes: list = []
+        self._task_queues: list = [None] * self.workers
+        self._result_queues: list = [None] * self.workers
+        self._processes: list = [None] * self.workers
         self._task_counter = 0
+        #: tasks dispatched per worker slot across its whole lifetime — the
+        #: fault-injection task offset a respawned worker resumes from
+        self._dispatched = [0] * self.workers
+        self._respawn_counts = [0] * self.workers
+        self._respawn_s: list[float] = []
+        self._crashes = 0
+        self._timeouts = 0
         self._started = False
         self._closed = False
 
     # ------------------------------------------------------------------ #
+    def _spawn_worker(self, index: int) -> None:
+        """(Re)create one worker slot: fresh queues + process, same arenas."""
+        task_queue = self._ctx.Queue()
+        result_queue = self._ctx.Queue()
+        self._task_queues[index] = task_queue
+        self._result_queues[index] = result_queue
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self.artifact_paths, self.specs,
+                  self._in_shms[index].name, self._out_shms[index].name,
+                  task_queue, result_queue, self.faults,
+                  self._dispatched[index]),
+            name=f"fleet-worker-{index}", daemon=True)
+        process.start()
+        self._processes[index] = process
+
+    def _wait_ready(self, index: int) -> None:
+        message = self._result_queues[index].get(timeout=self.start_timeout_s)
+        if message[0] != "ready":
+            raise RuntimeError(message[2])
+
     def start(self) -> None:
         """Spawn the workers and block until every engine set is warm."""
         if self._started:
@@ -194,28 +283,13 @@ class ProcessFleetBackend:
         from multiprocessing import shared_memory
         try:
             for index in range(self.workers):
-                in_shm = shared_memory.SharedMemory(create=True,
-                                                    size=self._in_bytes)
-                out_shm = shared_memory.SharedMemory(create=True,
-                                                     size=self._out_bytes)
-                self._in_shms.append(in_shm)
-                self._out_shms.append(out_shm)
-                task_queue = self._ctx.Queue()
-                result_queue = self._ctx.Queue()
-                self._task_queues.append(task_queue)
-                self._result_queues.append(result_queue)
-                process = self._ctx.Process(
-                    target=_worker_main,
-                    args=(index, self.artifact_paths, self.specs,
-                          in_shm.name, out_shm.name, task_queue, result_queue),
-                    name=f"fleet-worker-{index}", daemon=True)
-                process.start()
-                self._processes.append(process)
+                self._in_shms.append(shared_memory.SharedMemory(
+                    create=True, size=self._in_bytes))
+                self._out_shms.append(shared_memory.SharedMemory(
+                    create=True, size=self._out_bytes))
+                self._spawn_worker(index)
             for index in range(self.workers):
-                message = self._result_queues[index].get(
-                    timeout=self.start_timeout_s)
-                if message[0] != "ready":
-                    raise RuntimeError(message[2])
+                self._wait_ready(index)
             self._started = True
         except BaseException:
             self.close()
@@ -230,8 +304,67 @@ class ProcessFleetBackend:
         self.close()
 
     # ------------------------------------------------------------------ #
+    def respawn(self, worker_index: int) -> float:
+        """Rebuild a dead/hung worker slot; returns the recovery seconds.
+
+        Bounded by ``max_respawns`` per slot (raises
+        :class:`~repro.faults.RespawnExhausted` past the budget) with
+        exponential backoff.  The old process is terminated (killed if it
+        ignores SIGTERM), its queues retired without blocking on undelivered
+        data, and a fresh process re-bootstraps its engines from the same
+        artifacts against the same parent-owned arenas.  The replacement's
+        fault-injection counter resumes at this slot's dispatched-task
+        count, so plan events the old incarnation consumed never re-fire.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("backend is not running (call start())")
+        if not 0 <= worker_index < self.workers:
+            raise ValueError(f"worker_index must be in [0, {self.workers}), "
+                             f"got {worker_index}")
+        attempt = self._respawn_counts[worker_index]
+        if attempt >= self.max_respawns:
+            raise RespawnExhausted(
+                f"worker {worker_index} exceeded its respawn budget "
+                f"({self.max_respawns})")
+        self._respawn_counts[worker_index] = attempt + 1
+        start = time.perf_counter()
+        backoff = min(self.respawn_backoff_s * (2.0 ** attempt),
+                      self.respawn_backoff_max_s)
+        if backoff > 0:
+            time.sleep(backoff)
+        old = self._processes[worker_index]
+        if old.is_alive():
+            old.terminate()
+            old.join(timeout=10.0)
+            if old.is_alive():
+                old.kill()
+                old.join(timeout=10.0)
+        for retired in (self._task_queues[worker_index],
+                        self._result_queues[worker_index]):
+            retired.close()
+            # The dead worker will never drain these; don't block on the
+            # feeder thread flushing to a pipe nobody reads.
+            retired.cancel_join_thread()
+        self._spawn_worker(worker_index)
+        self._wait_ready(worker_index)
+        elapsed = time.perf_counter() - start
+        self._respawn_s.append(elapsed)
+        return elapsed
+
+    def fault_stats(self) -> dict:
+        """Supervision counters for the serving report."""
+        return {
+            "crashes": self._crashes,
+            "timeouts": self._timeouts,
+            "respawns": sum(self._respawn_counts),
+            "respawn_counts": list(self._respawn_counts),
+            "respawn_s": [round(s, 6) for s in self._respawn_s],
+        }
+
+    # ------------------------------------------------------------------ #
     def run(self, worker_index: int, model: str,
-            images: Sequence[np.ndarray], trace: dict | None = None):
+            images: Sequence[np.ndarray], trace: dict | None = None,
+            timeout_s: float | None = None):
         """Execute megabatch groups on one worker process.
 
         ``images`` is a list of stacked per-batch arrays (``(fill, C, H,
@@ -244,6 +377,15 @@ class ProcessFleetBackend:
         "tape": bool}``; when set, ``spans`` carries the worker's span
         tuples aligned to the parent's trace clock (empty otherwise) — see
         :meth:`repro.telemetry.Tracer.adopt`.
+
+        The recv is deadline-bounded (``timeout_s``, default
+        ``task_timeout_s``) and liveness-checked: a worker that dies raises
+        :class:`~repro.faults.WorkerCrashed`, one that stalls past the
+        deadline raises :class:`~repro.faults.WorkerTimeout`, and a task
+        that fails in a live worker raises
+        :class:`~repro.faults.TaskFailed` — never an indefinite block.
+        Stale results from a pre-timeout task on a worker that was *not*
+        respawned are discarded, not mismatched.
         """
         if not self._started or self._closed:
             raise RuntimeError("backend is not running (call start())")
@@ -253,6 +395,7 @@ class ProcessFleetBackend:
         if model not in self.specs:
             raise ValueError(f"unknown model {model!r}; "
                              f"fleet: {sorted(self.specs)}")
+        timeout = float(timeout_s) if timeout_s is not None else self.task_timeout_s
         fills = [int(np.asarray(group).shape[0]) for group in images]
         flat = np.concatenate([np.asarray(group, dtype=np.float64)
                                for group in images], axis=0)
@@ -264,15 +407,40 @@ class ProcessFleetBackend:
         staged[:] = flat
         task_id = self._task_counter
         self._task_counter += 1
+        self._dispatched[worker_index] += 1
+        result_queue = self._result_queues[worker_index]
         self._task_queues[worker_index].put(("run", task_id, model, fills,
                                              trace))
-        message = self._result_queues[worker_index].get()
-        if message[0] == "error":
-            raise RuntimeError(message[2])
-        _, done_id, elapsed, executions, dtype, shape, spans = message
-        if done_id != task_id:
-            raise RuntimeError(f"worker {worker_index} answered task "
-                               f"{done_id}, expected {task_id}")
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                message = result_queue.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                process = self._processes[worker_index]
+                if not process.is_alive():
+                    # One grace drain: the reply may have raced the death.
+                    try:
+                        message = result_queue.get(timeout=_POLL_S)
+                    except queue_mod.Empty:
+                        self._crashes += 1
+                        raise WorkerCrashed(
+                            f"worker {worker_index} died (exitcode "
+                            f"{process.exitcode}) while running task "
+                            f"{task_id} on {model!r}") from None
+                elif time.monotonic() >= deadline:
+                    self._timeouts += 1
+                    raise WorkerTimeout(
+                        f"worker {worker_index} produced no result for task "
+                        f"{task_id} on {model!r} within {timeout:g}s") from None
+                else:
+                    continue
+            if message[0] == "error":
+                reason = message[3] if len(message) > 3 else "task"
+                raise TaskFailed(message[2], reason=reason)
+            _, done_id, elapsed, executions, dtype, shape, spans = message
+            if done_id != task_id:
+                continue  # stale pre-timeout result; keep waiting for ours
+            break
         staged_out = np.ndarray(shape, dtype=np.int64,
                                 buffer=self._out_shms[worker_index].buf)
         codes = staged_out.astype(np.dtype(dtype))  # exact narrowing cast
@@ -284,32 +452,52 @@ class ProcessFleetBackend:
 
     # ------------------------------------------------------------------ #
     def close(self, join_timeout_s: float = 10.0) -> None:
-        """Stop the workers and release the arenas (idempotent)."""
+        """Stop the workers and release the arenas (idempotent).
+
+        Arena close + unlink runs in a ``finally`` so shared-memory
+        segments are released even when a worker ignores the stop message,
+        outlives ``join_timeout_s`` and has to be terminated — or when
+        queue teardown itself raises.
+        """
         if self._closed:
             return
         self._closed = True
-        for task_queue, process in zip(self._task_queues, self._processes):
-            if process.is_alive():
-                try:
-                    task_queue.put(("stop",))
-                except (OSError, ValueError):
-                    pass
-        for process in self._processes:
-            process.join(timeout=join_timeout_s)
-            if process.is_alive():
-                process.terminate()
+        try:
+            for task_queue, process in zip(self._task_queues, self._processes):
+                if process is not None and process.is_alive():
+                    try:
+                        task_queue.put(("stop",))
+                    except (OSError, ValueError):
+                        pass
+            for process in self._processes:
+                if process is None:
+                    continue
                 process.join(timeout=join_timeout_s)
-        for queue in (*self._task_queues, *self._result_queues):
-            queue.close()
-            queue.join_thread()
-        for shm in (*self._in_shms, *self._out_shms):
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:
-                pass
-        self._in_shms.clear()
-        self._out_shms.clear()
-        self._task_queues.clear()
-        self._result_queues.clear()
-        self._processes.clear()
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=join_timeout_s)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=join_timeout_s)
+            for queue in (*self._task_queues, *self._result_queues):
+                if queue is None:
+                    continue
+                queue.close()
+                # Never block teardown on a feeder thread flushing to a
+                # worker that already exited.
+                queue.cancel_join_thread()
+        finally:
+            for shm in (*self._in_shms, *self._out_shms):
+                try:
+                    shm.close()
+                except OSError:
+                    pass
+                try:
+                    shm.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+            self._in_shms.clear()
+            self._out_shms.clear()
+            self._task_queues = [None] * self.workers
+            self._result_queues = [None] * self.workers
+            self._processes = [None] * self.workers

@@ -63,6 +63,16 @@ from ..deploy import compile as deploy_compile
 from ..deploy.artifact import config_key
 from ..deploy.config import CompileConfig
 from ..engine.parallel import ShardedRunner
+from ..faults import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultError,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from ..engine.runner import run_partial_groups
 from ..models.registry import MODEL_REGISTRY, available_models
 from ..telemetry.trace import (NULL_TRACER, TelemetryConfig, Trace, Tracer,
@@ -75,17 +85,29 @@ from .workload import ClosedLoopPacer, OpenLoopPacer, Request, fleet_input_shape
 
 __all__ = ["ServedRequest", "FleetReport", "FleetServer"]
 
+#: modeled virtual-clock cost of *detecting* a crash or task error (a hang
+#: instead costs the recv deadline); keeps chaos makespans deterministic
+_VIRTUAL_FAULT_DETECT_S = 1e-3
+
 
 @dataclass(frozen=True)
 class ServedRequest:
-    """Terminal outcome of one request: completed with codes, or shed."""
+    """Terminal outcome of one request: completed, shed, or failed.
+
+    ``"failed"`` is the fault plane's terminal state: the request was
+    admitted, its batch(es) faulted, and the retry budget (attempts or
+    deadline) ran out — ``failure_reason`` names the last fault kind and
+    ``retries`` counts the extra attempts that were spent.  Completed
+    requests also carry ``retries`` (> 0 when a fault made them run more
+    than once before succeeding).
+    """
 
     request_id: int
     model: str
-    status: str                          # "completed" | "shed"
+    status: str                          # "completed" | "shed" | "failed"
     latency_s: float | None = None
     codes: np.ndarray | None = None
-    shed_reason: str | None = None       # "queue_full" | "slo" | "preempted"
+    shed_reason: str | None = None       # "queue_full" | "slo" | "preempted" | "breaker"
     batch_index: int | None = None
     batch_fill: int | None = None
     worker_index: int | None = None      # dispatch worker that ran the batch
@@ -93,10 +115,18 @@ class ServedRequest:
     #: wall-clock offset (s from serve start) the request was offered at —
     #: set by paced real serving, ``None`` on the virtual clock and floods
     release_s: float | None = None
+    #: extra executions spent on this request beyond the first attempt
+    retries: int = 0
+    #: fault kind that terminated a ``"failed"`` request
+    failure_reason: str | None = None
 
     @property
     def completed(self) -> bool:
         return self.status == "completed"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
 
 @dataclass
@@ -119,6 +149,12 @@ class FleetReport:
     @property
     def fleet(self) -> dict:
         return self.metrics["fleet"]
+
+    @property
+    def faults(self) -> dict | None:
+        """Fault-plane block (injection, retries, breaker, supervisor) when
+        the run was served with any resilience feature active."""
+        return self.metrics.get("faults")
 
     @property
     def completed(self) -> int:
@@ -180,7 +216,10 @@ class FleetServer:
                  backend: str = "thread",
                  mp_context: str = "spawn",
                  disk_max_bytes: int | None = None,
-                 telemetry: TelemetryConfig | None = None) -> None:
+                 telemetry: TelemetryConfig | None = None,
+                 faults: FaultPlan | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker: BreakerPolicy | None = None) -> None:
         fleet = list(fleet)
         if not fleet:
             raise ValueError("fleet must name at least one registry model")
@@ -240,6 +279,18 @@ class FleetServer:
             raise TypeError(f"telemetry must be a TelemetryConfig or None, "
                             f"got {type(telemetry).__name__}")
         self.telemetry = telemetry
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise TypeError(f"faults must be a FaultPlan or None, "
+                            f"got {type(faults).__name__}")
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError(f"retry must be a RetryPolicy or None, "
+                            f"got {type(retry).__name__}")
+        if breaker is not None and not isinstance(breaker, BreakerPolicy):
+            raise TypeError(f"breaker must be a BreakerPolicy or None, "
+                            f"got {type(breaker).__name__}")
+        self.faults = faults
+        self.retry = retry
+        self.breaker = breaker
         self.workers = int(workers)
         self.shard_workers = int(shard_workers)
         #: per-model sharded executors; a PlanCache recompile produces a new
@@ -320,7 +371,10 @@ class FleetServer:
               pacing: object = None,
               time_scale: float = 1.0,
               closed_concurrency: int | None = None,
-              telemetry: TelemetryConfig | None = None) -> FleetReport:
+              telemetry: TelemetryConfig | None = None,
+              faults: FaultPlan | None = None,
+              retry: RetryPolicy | None = None,
+              breaker: BreakerPolicy | None = None) -> FleetReport:
         """Serve a request stream.
 
         ``execution="virtual"`` (default) runs the discrete-event loop on
@@ -345,6 +399,15 @@ class FleetServer:
         with ``sample_rate > 0`` records request spans (admission,
         queueing, batch execution) and attaches the resulting
         :class:`~repro.telemetry.Trace` to :attr:`FleetReport.trace`.
+
+        ``faults`` / ``retry`` / ``breaker`` override the server's
+        configured fault plane for this run (see :mod:`repro.faults`): a
+        :class:`~repro.faults.FaultPlan` injects a deterministic failure
+        schedule, a :class:`~repro.faults.RetryPolicy` turns batch faults
+        into bounded retries (without one, fault errors propagate), and a
+        :class:`~repro.faults.BreakerPolicy` sheds fast into sick models
+        (shed reason ``"breaker"``).  The report's ``metrics["faults"]``
+        block summarizes what happened.
         """
         reqs = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         seen_ids: set[int] = set()
@@ -367,14 +430,53 @@ class FleetServer:
         tracer = (Tracer(config, clock="wall" if self.execution == "real"
                          else "virtual")
                   if config is not None and config.enabled else NULL_TRACER)
+        plan = faults if faults is not None else self.faults
+        retry_policy = retry if retry is not None else self.retry
+        breaker_policy = breaker if breaker is not None else self.breaker
+        if plan is not None and not isinstance(plan, FaultPlan):
+            raise TypeError(f"faults must be a FaultPlan or None, "
+                            f"got {type(plan).__name__}")
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise TypeError(f"retry must be a RetryPolicy or None, "
+                            f"got {type(retry_policy).__name__}")
+        if breaker_policy is not None and not isinstance(breaker_policy,
+                                                         BreakerPolicy):
+            raise TypeError(f"breaker must be a BreakerPolicy or None, "
+                            f"got {type(breaker_policy).__name__}")
+        # The breaker state machine is per-run so reports stay self-contained.
+        breaker_rt = (CircuitBreaker(breaker_policy)
+                      if breaker_policy is not None else None)
+        corrupted = (self._apply_artifact_faults(plan)
+                     if plan is not None else {})
+        injector = plan.injector() if plan is not None else None
         if self.execution == "real":
             return self._serve_real(reqs, pacer=pacer, pacing_name=pacing_name,
-                                    tracer=tracer, telemetry=config)
+                                    tracer=tracer, telemetry=config,
+                                    plan=plan, injector=injector,
+                                    retry=retry_policy, breaker=breaker_rt,
+                                    corrupted=corrupted)
         if pacer is not None:
             raise ValueError(f"pacing={pacing_name!r} requires execution='real'; "
                              f"the virtual discrete-event loop paces arrivals "
                              f"on its own clock (open-loop by construction)")
-        return self._serve_virtual(reqs, tracer=tracer, telemetry=config)
+        return self._serve_virtual(reqs, tracer=tracer, telemetry=config,
+                                   plan=plan, injector=injector,
+                                   retry=retry_policy, breaker=breaker_rt,
+                                   corrupted=corrupted)
+
+    def _apply_artifact_faults(self, plan: FaultPlan) -> dict[str, int]:
+        """Fire ``artifact_corrupt`` events: torn-write the disk-tier ``.rpa``
+        and evict the resident entry, so the next ``cache.get`` exercises the
+        quarantine + recompile path.  No disk tier -> nothing to corrupt."""
+        corrupted: dict[str, int] = {}
+        for event in plan.artifact_events:
+            path = self.cache.artifact_path(event.model)
+            if path is None or not Path(path).exists():
+                continue
+            Path(path).write_bytes(b"repro-fault: torn artifact write\x00")
+            self.cache.evict(event.model)
+            corrupted[event.model] = corrupted.get(event.model, 0) + 1
+        return corrupted
 
     def _make_pacer(self, reqs: list[Request], pacing, time_scale: float,
                     closed_concurrency: int | None):
@@ -393,8 +495,21 @@ class FleetServer:
         return pacing, getattr(pacing, "kind", "custom")
 
     def _serve_virtual(self, reqs: list[Request], tracer=NULL_TRACER,
-                       telemetry: TelemetryConfig | None = None) -> FleetReport:
-        """The discrete-event loop over a pre-validated, sorted stream."""
+                       telemetry: TelemetryConfig | None = None,
+                       plan: FaultPlan | None = None, injector=None,
+                       retry: RetryPolicy | None = None, breaker=None,
+                       corrupted: dict | None = None) -> FleetReport:
+        """The discrete-event loop over a pre-validated, sorted stream.
+
+        The fault plane runs on the virtual clock: injected failures fail
+        the launched batch without an engine pass and advance the clock by
+        the modeled detection cost (a ``task_hang`` costs
+        ``min(duration_s, retry.task_timeout_s)``, crashes additionally
+        hold the worker for the modeled respawn backoff), retries requeue
+        per :class:`~repro.faults.RetryPolicy`, and the breaker gates
+        arrivals — so a chaos run's outcomes and makespan are exactly
+        reproducible, machine-independent numbers.
+        """
         wall_start = time.perf_counter()
         pending = {m: 0 for m in self.fleet}
         for req in reqs:
@@ -405,6 +520,14 @@ class FleetServer:
         admission_before = self.admission.stats()
         #: sampled requests still in flight: request_id -> span start (arrival)
         traced: dict[int, float] = {}
+        #: fault plane: executions per request, models' consecutive-failure
+        #: streaks (drive retry backoff), and modeled supervisor counters
+        attempts: dict[int, int] = {}
+        retried_ids: set[int] = set()
+        fail_streak = {m: 0 for m in self.fleet}
+        observed_faults: dict[str, int] = {}
+        respawn_s: list[float] = []
+        virtual_crashes = virtual_timeouts = 0
 
         # N dispatch workers on the virtual clock; a batch launches on the
         # earliest-free worker.  Each model additionally serializes on its
@@ -437,6 +560,27 @@ class FleetServer:
                 pending[req.model] -= 1
                 last_event = max(last_event, req.arrival_s)
                 metrics.record_arrival(req.model, req.arrival_s)
+                if breaker is not None and not breaker.allow(req.model,
+                                                             req.arrival_s):
+                    # Open breaker: shed fast instead of queueing into a
+                    # model that keeps failing.
+                    metrics.record_shed(req.model, "breaker",
+                                        now=req.arrival_s)
+                    outcomes[req.request_id] = ServedRequest(
+                        request_id=req.request_id, model=req.model,
+                        status="shed", shed_reason="breaker",
+                        priority=req.priority)
+                    if tracer.enabled and tracer.sampled(req.request_id):
+                        tracer.record("request", "request", req.arrival_s,
+                                      req.arrival_s,
+                                      lane=f"req-{req.request_id}",
+                                      trace_id=req.request_id,
+                                      args={"status": "shed",
+                                            "reason": "breaker",
+                                            "model": req.model})
+                    metrics.record_queue_depth(
+                        req.arrival_s, sum(q.depth for q in queues.values()))
+                    continue
                 # The request cannot start before a worker is free AND its
                 # model's engine is free (one engine per model).
                 earliest_start = max(free_slot, model_free[req.model])
@@ -502,6 +646,79 @@ class FleetServer:
             worker_index = worker_free.index(free_slot)
             batch = queues[model].pop_batch()
             fill = len(batch)
+            event = (injector.poll(worker_index, model)
+                     if injector is not None else None)
+            if event is not None and event.kind in ("worker_crash",
+                                                    "task_hang", "task_error"):
+                # Modeled batch failure: no engine pass, no codes.  The
+                # clock advances by the detection cost; crashes and hangs
+                # also hold the worker for the modeled respawn.
+                observed_faults[event.kind] = observed_faults.get(event.kind,
+                                                                  0) + 1
+                if event.kind == "task_hang":
+                    detect = (min(event.duration_s, retry.task_timeout_s)
+                              if retry is not None else event.duration_s)
+                    virtual_timeouts += 1
+                else:
+                    detect = _VIRTUAL_FAULT_DETECT_S
+                    if event.kind == "worker_crash":
+                        virtual_crashes += 1
+                finish = launch_t + detect
+                recovery = 0.0
+                if event.kind in ("worker_crash", "task_hang"):
+                    recovery = (retry.respawn_backoff_s
+                                if retry is not None else 0.0)
+                    respawn_s.append(recovery)
+                worker_free[worker_index] = finish + recovery
+                fail_streak[model] += 1
+                backoff = (retry.attempt_backoff_s(fail_streak[model])
+                           if retry is not None else 0.0)
+                model_free[model] = finish + backoff
+                last_event = max(last_event, finish + recovery)
+                if breaker is not None:
+                    breaker.record(model, False, finish)
+                if tracer.enabled:
+                    tracer.record(event.kind, "fault", launch_t, finish,
+                                  lane=f"worker-{worker_index}",
+                                  args={"model": model, "fill": fill,
+                                        "batch_index": batch_index})
+                    if recovery:
+                        tracer.record("respawn", "fault", finish,
+                                      finish + recovery,
+                                      lane=f"worker-{worker_index}",
+                                      args={"worker": worker_index,
+                                            "recovery_s": recovery})
+                for req in batch:
+                    n_attempts = attempts.get(req.request_id, 0) + 1
+                    attempts[req.request_id] = n_attempts
+                    if retry is None or retry.exhausted(
+                            n_attempts, finish - req.arrival_s):
+                        metrics.record_failed(model, event.kind, now=finish)
+                        outcomes[req.request_id] = ServedRequest(
+                            request_id=req.request_id, model=model,
+                            status="failed", failure_reason=event.kind,
+                            retries=n_attempts - 1, priority=req.priority,
+                            worker_index=worker_index)
+                        start_t = traced.pop(req.request_id, None)
+                        if start_t is not None:
+                            lane = f"req-{req.request_id}"
+                            tracer.record("queue", "queue", start_t, launch_t,
+                                          lane=lane, trace_id=req.request_id,
+                                          args={"model": model})
+                            tracer.record("request", "request", start_t,
+                                          finish, lane=lane,
+                                          trace_id=req.request_id,
+                                          args={"status": "failed",
+                                                "reason": event.kind,
+                                                "model": model})
+                    else:
+                        queues[model].push(req)
+                        metrics.record_retry(model)
+                        retried_ids.add(req.request_id)
+                metrics.record_queue_depth(finish,
+                                           sum(q.depth for q in queues.values()))
+                batch_index += 1
+                continue
             compiled = self.cache.get(model)
             engine = self._engine(model, compiled)
             images = np.stack([r.image for r in batch])
@@ -532,11 +749,19 @@ class FleetServer:
                     detach()
             compute = (self.compute_time_fn(model, fill)
                        if self.compute_time_fn is not None else measured)
+            if event is not None and event.kind == "slow_task":
+                # Straggler: correct codes, degraded timing.
+                observed_faults["slow_task"] = (
+                    observed_faults.get("slow_task", 0) + 1)
+                compute += event.duration_s
             self.cost_model.observe(model, compute)
             finish = launch_t + compute
             worker_free[worker_index] = finish
             model_free[model] = finish
             last_event = max(last_event, finish)
+            fail_streak[model] = 0
+            if breaker is not None:
+                breaker.record(model, True, finish)
             if batch_traced:
                 tracer.record(model, "batch", launch_t, finish,
                               lane=f"worker-{worker_index}",
@@ -550,7 +775,8 @@ class FleetServer:
                     request_id=req.request_id, model=model, status="completed",
                     latency_s=latency, codes=output.codes[offset].copy(),
                     batch_index=batch_index, batch_fill=fill,
-                    worker_index=worker_index, priority=req.priority)
+                    worker_index=worker_index, priority=req.priority,
+                    retries=attempts.get(req.request_id, 0))
                 start_t = traced.pop(req.request_id, None)
                 if start_t is not None:
                     lane = f"req-{req.request_id}"
@@ -581,6 +807,24 @@ class FleetServer:
                                for key in admission_after}
         for model in self.fleet:
             report["per_model"][model]["queue"] = queues[model].stats()
+        if plan is not None or retry is not None or breaker is not None:
+            report["faults"] = {
+                "plan": plan.to_dict() if plan is not None else None,
+                "injected": injector.stats() if injector is not None else None,
+                "observed": dict(observed_faults),
+                "retried_requests": len(retried_ids),
+                "retry_policy": retry.to_dict() if retry is not None else None,
+                "breaker": breaker.snapshot() if breaker is not None else None,
+                "supervisor": {
+                    "crashes": virtual_crashes,
+                    "timeouts": virtual_timeouts,
+                    "respawns": len(respawn_s),
+                    "respawn_s": [round(s, 6) for s in respawn_s],
+                },
+                "degraded_models": [],
+                "dead_workers": [],
+                "artifacts_corrupted": dict(corrupted or {}),
+            }
         trace = tracer.finish({
             "execution": "virtual", "backend": "event-loop",
             "pacing": "virtual", "workers": self.workers,
@@ -621,8 +865,20 @@ class FleetServer:
 
     def _serve_real(self, reqs: list[Request], pacer=None,
                     pacing_name: str = "flood", tracer=NULL_TRACER,
-                    telemetry: TelemetryConfig | None = None) -> FleetReport:
+                    telemetry: TelemetryConfig | None = None,
+                    plan: FaultPlan | None = None, injector=None,
+                    retry: RetryPolicy | None = None, breaker=None,
+                    corrupted: dict | None = None) -> FleetReport:
         """Wall-clock serving: N dispatch workers draining real queues.
+
+        **Faults & supervision.** With ``retry`` set the dispatch workers
+        are supervised: a :class:`~repro.faults.FaultError` from a dispatch
+        (a crashed or hung worker process, an injected task error) fails the
+        claimed batches, requeues their requests up to the retry budget,
+        backs the model off, respawns crashed process workers, and — after
+        ``retry.degrade_after`` consecutive failures on one model — degrades
+        that model to the in-process thread path.  Without ``retry`` the
+        typed fault error propagates to the caller unchanged.
 
         **Ingestion.** Flood pacing (default) is a deterministic
         single-threaded pass — every request runs through admission control
@@ -672,6 +928,16 @@ class FleetServer:
         state = {"remaining": 0, "batch_index": 0, "ingesting": pacer is not None}
         release: dict[int, float] = {}
         failures: list[BaseException] = []
+        #: fault plane (guarded by the scheduler lock unless noted)
+        supervised = retry is not None
+        attempts: dict[int, int] = {}
+        retried_ids: set[int] = set()
+        fail_streak = {m: 0 for m in self.fleet}
+        observed_faults: dict[str, int] = {}
+        #: model -> wall deadline (perf_counter) before which pop_work skips it
+        model_hold: dict[str, float] = {}
+        degraded_models: set[str] = set()
+        dead_workers: set[int] = set()
 
         def admit(req: Request, now: float, depth_t: float,
                   signal: list[int]) -> None:
@@ -681,6 +947,25 @@ class FleetServer:
             caller can notify the pacer *after* releasing the lock.
             """
             metrics.record_arrival(req.model, req.arrival_s)
+            if breaker is not None and not breaker.allow(req.model, now_s()):
+                # Open breaker: shed fast instead of queueing into a model
+                # that keeps failing.
+                metrics.record_shed(req.model, "breaker", now=depth_t)
+                outcomes[req.request_id] = ServedRequest(
+                    request_id=req.request_id, model=req.model, status="shed",
+                    shed_reason="breaker", priority=req.priority,
+                    release_s=release.get(req.request_id))
+                signal.append(req.request_id)
+                if tracer.enabled and tracer.sampled(req.request_id):
+                    span_t = now_s()
+                    tracer.record("request", "request", span_t, span_t,
+                                  lane=f"req-{req.request_id}",
+                                  trace_id=req.request_id,
+                                  args={"status": "shed", "reason": "breaker",
+                                        "model": req.model})
+                metrics.record_queue_depth(depth_t,
+                                           sum(q.depth for q in queues.values()))
+                return
             decision = self.admission.consider(req, now, now, queues, self.policy)
             req_traced = tracer.enabled and tracer.sampled(req.request_id)
             span_t = now_s() if tracer.enabled else 0.0
@@ -762,7 +1047,12 @@ class FleetServer:
                      for m in needed}
             proc_backend = ProcessFleetBackend(
                 specs, artifact_paths, workers=self.workers,
-                mp_context=self.mp_context)
+                mp_context=self.mp_context, faults=plan,
+                task_timeout_s=(retry.task_timeout_s if retry is not None
+                                else 60.0),
+                max_respawns=(retry.max_respawns if retry is not None else 2),
+                respawn_backoff_s=(retry.respawn_backoff_s
+                                   if retry is not None else 0.05))
             proc_backend.start()
 
         def pop_work():
@@ -774,10 +1064,18 @@ class FleetServer:
             end-of-stream semantics.
             """
             best_model = None
+            now_wall = time.perf_counter() if model_hold else 0.0
             for model in needed:
                 queue = queues[model]
                 if model_busy[model] or not queue.depth:
                     continue
+                hold = model_hold.get(model)
+                if hold is not None:
+                    # Retry backoff: the model sits out until its hold
+                    # expires (waiters use a timed wait while holds exist).
+                    if hold > now_wall:
+                        continue
+                    del model_hold[model]
                 if best_model is None or queue.depth > queues[best_model].depth:
                     best_model = model
             if best_model is None:
@@ -805,7 +1103,8 @@ class FleetServer:
             dispatch window), and the thread backend attaches a tape sink
             when ``telemetry.tape_spans`` asks for instruction spans.
             """
-            if proc_backend is not None:
+            if (proc_backend is not None and model not in degraded_models
+                    and worker_index not in dead_workers):
                 trace_req = None
                 if trace_batch:
                     trace_req = {"now": now_s(),
@@ -816,6 +1115,24 @@ class FleetServer:
                 if trace_req is not None and spans:
                     tracer.adopt(spans, clamp=(trace_req["now"], now_s()))
                 return group_codes, executions, elapsed
+            if injector is not None and proc_backend is None:
+                # Thread backend: injection happens parent-side (the process
+                # backend's workers carry their own injectors).
+                event = injector.poll(worker_index, model)
+                if event is not None and event.kind != "slow_task":
+                    if event.kind == "task_hang":
+                        limit = (min(event.duration_s, retry.task_timeout_s)
+                                 if retry is not None else event.duration_s)
+                        time.sleep(limit)
+                        raise WorkerTimeout(
+                            f"injected hang on worker {worker_index} "
+                            f"({model}) exceeded {limit:.3f}s")
+                    if event.kind == "worker_crash":
+                        raise WorkerCrashed(
+                            f"injected crash on worker {worker_index} ({model})")
+                    raise InjectedFault(event)
+                if event is not None:   # slow_task: straggle, then run
+                    time.sleep(event.duration_s)
             detach = None
             if trace_batch and telemetry is not None and telemetry.tape_spans:
                 tape = self._tape_of(engines[model])
@@ -837,6 +1154,96 @@ class FleetServer:
                     detach()
             return [out.codes for out in group_outputs], executions, elapsed
 
+        def handle_failure(worker_index: int, model: str, groups,
+                           exc: BaseException) -> None:
+            """Supervised recovery from one failed megabatch dispatch.
+
+            Requeues the claimed requests within the retry budget (failing
+            the exhausted ones), backs the model off, records the breaker
+            outcome, respawns a crashed/hung process worker, and degrades
+            the model to the in-process path after a long failure streak.
+            """
+            kind = getattr(exc, "kind", "fault")
+            now_fail = time.perf_counter() - serve_start
+            span_t = now_s() if tracer.enabled else 0.0
+            done_ids: list[int] = []
+            with work_ready:
+                observed_faults[kind] = observed_faults.get(kind, 0) + 1
+                if breaker is not None:
+                    breaker.record(model, False, now_s())
+                fail_streak[model] += 1
+                streak = fail_streak[model]
+                for batch in groups:
+                    for req in batch:
+                        n_attempts = attempts.get(req.request_id, 0) + 1
+                        attempts[req.request_id] = n_attempts
+                        age = now_fail - release.get(req.request_id, 0.0)
+                        if retry.exhausted(n_attempts, age):
+                            metrics.record_failed(model, kind, now=now_fail)
+                            outcomes[req.request_id] = ServedRequest(
+                                request_id=req.request_id, model=model,
+                                status="failed", failure_reason=kind,
+                                retries=n_attempts - 1, priority=req.priority,
+                                worker_index=worker_index,
+                                release_s=release.get(req.request_id))
+                            done_ids.append(req.request_id)
+                            start = traced.pop(req.request_id, None)
+                            if start is not None:
+                                tracer.record(
+                                    "request", "request", start, span_t,
+                                    lane=f"req-{req.request_id}",
+                                    trace_id=req.request_id,
+                                    args={"status": "failed", "reason": kind,
+                                          "model": model})
+                        else:
+                            queues[model].push(req)
+                            state["remaining"] += 1
+                            metrics.record_retry(model)
+                            retried_ids.add(req.request_id)
+                backoff = retry.attempt_backoff_s(streak)
+                if backoff > 0.0:
+                    model_hold[model] = time.perf_counter() + backoff
+                metrics.record_queue_depth(
+                    now_fail, sum(q.depth for q in queues.values()))
+                model_busy[model] = False
+                work_ready.notify_all()
+            if tracer.enabled:
+                tracer.record(kind, "fault", span_t, now_s(),
+                              lane=f"worker-{worker_index}",
+                              args={"model": model, "streak": streak,
+                                    "requests": sum(len(b) for b in groups)})
+            if pacer is not None:
+                for request_id in done_ids:
+                    pacer.on_completion(request_id)
+            # A crashed or hung worker process needs a respawn before this
+            # slot dispatches to the backend again; past the respawn budget
+            # the slot falls back to the in-process path permanently.
+            if (proc_backend is not None
+                    and isinstance(exc, (WorkerCrashed, WorkerTimeout))
+                    and worker_index not in dead_workers):
+                t0 = now_s() if tracer.enabled else 0.0
+                try:
+                    recovery = proc_backend.respawn(worker_index)
+                except FaultError:
+                    with work_ready:
+                        dead_workers.add(worker_index)
+                else:
+                    if tracer.enabled:
+                        tracer.record("respawn", "fault", t0, now_s(),
+                                      lane=f"worker-{worker_index}",
+                                      args={"worker": worker_index,
+                                            "recovery_s": recovery})
+            if (proc_backend is not None and retry is not None
+                    and streak >= retry.degrade_after
+                    and model not in degraded_models):
+                with work_ready:
+                    degraded_models.add(model)
+                if tracer.enabled:
+                    tracer.record("degrade", "fault", now_s(), now_s(),
+                                  lane=f"worker-{worker_index}",
+                                  args={"model": model, "streak": streak,
+                                        "fallback": "thread"})
+
         def worker(worker_index: int) -> None:
             while True:
                 with work_ready:
@@ -845,7 +1252,11 @@ class FleetServer:
                         if failures or (state["remaining"] == 0
                                         and not state["ingesting"]):
                             return
-                        work_ready.wait()
+                        if model_hold:
+                            # Timed wait: a hold expiring is not signaled.
+                            work_ready.wait(timeout=0.02)
+                        else:
+                            work_ready.wait()
                         claim = pop_work()
                 model, groups = claim
                 claim_t = now_s() if tracer.enabled else 0.0
@@ -858,6 +1269,9 @@ class FleetServer:
                     group_codes, executions, elapsed = execute(
                         worker_index, model, images, batch_traced)
                 except BaseException as exc:
+                    if supervised and isinstance(exc, FaultError):
+                        handle_failure(worker_index, model, groups, exc)
+                        continue
                     # A dead worker must not strand the fleet: surface the
                     # failure, release the model, and wake the others so
                     # they can drain or exit.
@@ -880,6 +1294,9 @@ class FleetServer:
                                         "compute_ms": elapsed * 1e3})
                 done_ids: list[int] = []
                 with work_ready:
+                    fail_streak[model] = 0
+                    if breaker is not None:
+                        breaker.record(model, True, now_s())
                     self.cost_model.observe(model, elapsed / max(1, executions))
                     per_batch_s = elapsed / len(groups)
                     if len(groups) > 1:
@@ -902,7 +1319,8 @@ class FleetServer:
                                 batch_index=batch_index, batch_fill=fill,
                                 worker_index=worker_index,
                                 priority=req.priority,
-                                release_s=release.get(req.request_id))
+                                release_s=release.get(req.request_id),
+                                retries=attempts.get(req.request_id, 0))
                             done_ids.append(req.request_id)
                             start = traced.pop(req.request_id, None)
                             if start is not None:
@@ -971,7 +1389,9 @@ class FleetServer:
                 raise failures[0]
             makespan = time.perf_counter() - serve_start
         finally:
+            supervisor_stats = None
             if proc_backend is not None:
+                supervisor_stats = proc_backend.fault_stats()
                 proc_backend.close()
             if tmpdir is not None:
                 tmpdir.cleanup()
@@ -985,6 +1405,26 @@ class FleetServer:
                                for key in admission_after}
         for model in self.fleet:
             report["per_model"][model]["queue"] = queues[model].stats()
+        if plan is not None or retry is not None or breaker is not None:
+            report["faults"] = {
+                "plan": plan.to_dict() if plan is not None else None,
+                # Parent-side injector stats are only meaningful on the
+                # thread backend; process workers carry their own injectors.
+                "injected": (injector.stats()
+                             if injector is not None and self.backend != "process"
+                             else None),
+                "observed": dict(observed_faults),
+                "retried_requests": len(retried_ids),
+                "retry_policy": retry.to_dict() if retry is not None else None,
+                "breaker": breaker.snapshot() if breaker is not None else None,
+                "supervisor": (supervisor_stats if supervisor_stats is not None
+                               else {"crashes": 0, "timeouts": 0,
+                                     "respawns": 0, "respawn_counts": [],
+                                     "respawn_s": []}),
+                "degraded_models": sorted(degraded_models),
+                "dead_workers": sorted(dead_workers),
+                "artifacts_corrupted": dict(corrupted or {}),
+            }
         trace = tracer.finish({
             "execution": "real", "backend": self.backend,
             "pacing": pacing_name, "workers": self.workers,

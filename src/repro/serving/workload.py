@@ -38,6 +38,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..faults import FaultEvent, FaultPlan
 from ..models.registry import MODEL_REGISTRY, available_models
 
 __all__ = [
@@ -169,6 +170,9 @@ class Scenario:
     #: optional (priority, weight) classes drawn i.i.d. per request; ``None``
     #: leaves every request at the default priority 0
     priority_mix: tuple[tuple[int, float], ...] | None = None
+    #: optional deterministic fault schedule for chaos scenarios — pass it to
+    #: ``FleetServer.serve(faults=scenario.faults)`` alongside a RetryPolicy
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.arrival not in _ARRIVALS:
@@ -206,6 +210,18 @@ SCENARIOS: dict[str, Scenario] = {
         "heavy_tail", "heavy_tail", duration_s=2.0,
         model_mix=(("lenet_nano", 0.6), ("mobilenet_v1_nano", 0.4)),
         params=dict(rate_rps=150.0, alpha=1.7)),
+    # Chaos preset: steady traffic with a seeded fault schedule — one worker
+    # crash, one long task hang (trips the recv deadline) and a short burst
+    # of task errors.  Addressed in worker-task coordinates, so the same
+    # events replay identically on both clocks and both backends.
+    "chaos_steady": Scenario(
+        "chaos_steady", "poisson", duration_s=2.0, model_mix=_DEFAULT_MIX,
+        params=dict(rate_rps=150.0),
+        faults=FaultPlan(events=(
+            FaultEvent("worker_crash", worker=0, task_index=2),
+            FaultEvent("task_hang", worker=1, task_index=3, duration_s=30.0),
+            FaultEvent("task_error", count=2),
+        ), seed=8)),
 }
 
 
@@ -272,14 +288,16 @@ class OpenLoopPacer:
     :meth:`on_completion` is a no-op by contract.
 
     ``time_scale`` stretches (>1) or compresses (<1) the scenario clock;
-    ``clock`` and ``sleep_fn`` are injectable for deterministic tests.
+    ``clock`` and ``sleep_fn`` are injectable for deterministic tests.  The
+    default wait is interruptible: :meth:`abort` wakes a release mid-sleep
+    instead of letting the ingest thread doze through the remaining gap.
     """
 
     kind = "open"
 
     def __init__(self, requests: Sequence[Request], *, time_scale: float = 1.0,
                  clock: Callable[[], float] = time.perf_counter,
-                 sleep_fn: Callable[[float], None] = time.sleep) -> None:
+                 sleep_fn: Callable[[float], None] | None = None) -> None:
         if time_scale <= 0:
             raise ValueError(f"time_scale must be > 0, got {time_scale}")
         self.requests = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
@@ -299,7 +317,13 @@ class OpenLoopPacer:
             target = req.arrival_s * self.time_scale
             now = self._clock() - start
             if target > now:
-                self._sleep(target - now)
+                if self._sleep is not None:
+                    self._sleep(target - now)
+                else:
+                    # Event.wait doubles as an abort-interruptible sleep.
+                    self._aborted.wait(target - now)
+                if self._aborted.is_set():
+                    return
                 now = self._clock() - start
             self.released[req.request_id] = now
             yield req, now

@@ -167,6 +167,48 @@ def prometheus_text(report: dict, namespace: str = "repro",
     expo.family(f"{namespace}_queue_max_depth", "gauge",
                 "Peak per-model queue depth over the run.", queue_samples)
 
+    expo.family(f"{namespace}_failed_total", "counter",
+                "Requests that terminated as failed, by model and fault kind.",
+                [({"model": m, "reason": reason}, count)
+                 for m, s in per_model.items()
+                 for reason, count in sorted(s.get("failed", {}).items())])
+    expo.family(f"{namespace}_retries_total", "counter",
+                "Retry attempts spent by the resilience policy, by model.",
+                [({"model": m}, s.get("retries", 0))
+                 for m, s in per_model.items() if s.get("retries")])
+
+    faults = report.get("faults")
+    if faults:
+        observed = faults.get("observed") or {}
+        expo.family(f"{namespace}_faults_observed_total", "counter",
+                    "Fault events observed by the supervisor, by kind.",
+                    [({"kind": kind}, count)
+                     for kind, count in sorted(observed.items())])
+        supervisor = faults.get("supervisor") or {}
+        for key, help_text in (
+                ("crashes", "Worker crashes detected by the supervisor."),
+                ("timeouts", "Per-task recv deadlines tripped."),
+                ("respawns", "Worker processes respawned.")):
+            if supervisor.get(key):
+                expo.family(f"{namespace}_supervisor_{key}_total", "counter",
+                            help_text, [({}, int(supervisor[key]))])
+        breaker = faults.get("breaker") or {}
+        models = breaker.get("models") or {}
+        expo.family(f"{namespace}_breaker_opens_total", "counter",
+                    "Circuit-breaker open transitions, by model.",
+                    [({"model": m}, b.get("opens", 0))
+                     for m, b in sorted(models.items()) if b.get("opens")])
+        _STATES = {"closed": 0, "open": 1, "half_open": 2}
+        expo.family(f"{namespace}_breaker_state", "gauge",
+                    "Circuit-breaker state by model "
+                    "(0=closed, 1=open, 2=half_open).",
+                    [({"model": m}, _STATES.get(b.get("state"), 0))
+                     for m, b in sorted(models.items())])
+        degraded = faults.get("degraded_models") or []
+        expo.family(f"{namespace}_degraded_models", "gauge",
+                    "Models degraded to the in-process fallback path.",
+                    [({}, len(degraded))])
+
     admission = report.get("admission")
     if admission:
         expo.family(f"{namespace}_admission_decisions_total", "counter",
